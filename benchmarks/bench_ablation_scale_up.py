@@ -1,0 +1,50 @@
+"""Ablation: F-NORM scale-up vs scale-down-only in the online setting.
+
+Equation 9 divides every flow by its path's worst ratio, which *scales
+up* under-allocated flows.  In the closed loop that is what fig. 13's
+near-optimal throughput relies on; in the *online* packet network it
+double-books links for the ~2 ticks rate reductions take to reach
+other endpoints.  This bench quantifies the trade on the fluid model:
+scale-up buys throughput, scale-down-only buys lower over-allocation
+against full capacities — the reason the packet-level allocator node
+runs scale-down-only (see `repro.control.allocator_node`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core.normalization import FNormalizer
+from repro.fluid import build_fluid_setup
+
+from _common import SCALE, report
+
+
+def test_scale_up_tradeoff(benchmark):
+    def run():
+        results = {}
+        for allow, label in ((True, "scale-up (Eq. 9)"),
+                             (False, "scale-down only")):
+            _, allocator, _, simulator = build_fluid_setup(
+                workload="web", load=0.7,
+                normalizer=FNormalizer(allow_scale_up=allow),
+                threshold=0.0, seed=41, n_racks=SCALE.n_racks,
+                hosts_per_rack=SCALE.hosts_per_rack,
+                n_spines=SCALE.n_spines)
+            metrics = simulator.run(SCALE.fluid_duration,
+                                    warmup=SCALE.fluid_warmup)
+            results[label] = (float(np.mean(metrics.total_rate)),
+                              metrics.peak_over_allocation())
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(
+        ["F-NORM variant", "mean throughput (Gbit/s)",
+         "peak over-alloc (Gbit/s)"],
+        [[label, f"{rate:.1f}", f"{over:.2f}"]
+         for label, (rate, over) in results.items()],
+        title="\n[ablation] F-NORM scale-up vs scale-down-only, load 0.7"))
+    up = results["scale-up (Eq. 9)"]
+    down = results["scale-down only"]
+    assert up[0] >= down[0] - 1e-6       # scale-up never loses throughput
+    assert down[1] <= up[1] + 1e-6       # scale-down never over-allocates more

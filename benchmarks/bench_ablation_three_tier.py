@@ -1,0 +1,71 @@
+"""Ablation: the §7 three-tier open question, quantified.
+
+§7: "Assigning a full pod to one block would create huge blocks,
+limiting allocator parallelism.  On the other hand, the links going
+into and out of a pod are used by all servers in a pod, so splitting a
+pod to multiple blocks creates expensive updates."
+
+This bench (a) verifies NED allocates correctly on a three-tier fabric
+(the NUM core is topology-agnostic), and (b) measures the pod-block
+coupling fraction — the share of a pod-block's LinkBlock state that
+cross-pod FlowBlocks would contend on — across fabric shapes, making
+the §7 trade-off concrete.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import FlowTable, NedOptimizer, solve_to_optimal
+from repro.topology import ThreeTierClos
+
+from _common import report
+
+
+def test_ned_on_three_tier(benchmark):
+    topology = ThreeTierClos(n_pods=4, racks_per_pod=2, hosts_per_rack=8,
+                             n_spines=2, n_core=4)
+    table = FlowTable(topology.link_set())
+    rng = np.random.default_rng(3)
+    for i in range(300):
+        src = int(rng.integers(topology.n_hosts))
+        dst = int(rng.integers(topology.n_hosts - 1))
+        if dst >= src:
+            dst += 1
+        table.add_flow(i, topology.route(src, dst, i))
+    optimizer = NedOptimizer(table, gamma=0.4)
+
+    def run():
+        return optimizer.iterate(50)
+
+    rates = benchmark(run)
+    load = table.link_totals(rates)
+    over = np.maximum(load - table.links.capacity, 0.0)
+    total = float(load.sum())
+    report(f"\n[§7 ablation] NED on 3-tier ({topology.n_hosts} hosts, "
+           f"{topology.n_links} links): residual over-allocation "
+           f"= {over.sum():.3f} of {total:.0f} Gbit/s allocated")
+    assert over.sum() < 0.01 * total
+
+
+def test_pod_block_coupling(benchmark):
+    shapes = [
+        ("2 pods, 4 racks", dict(n_pods=2, racks_per_pod=4,
+                                 hosts_per_rack=16, n_spines=4, n_core=4)),
+        ("4 pods, 4 racks", dict(n_pods=4, racks_per_pod=4,
+                                 hosts_per_rack=16, n_spines=4, n_core=8)),
+        ("8 pods, 8 racks", dict(n_pods=8, racks_per_pod=8,
+                                 hosts_per_rack=16, n_spines=4, n_core=16)),
+    ]
+
+    def run():
+        return [(name, ThreeTierClos(**kw).pod_block_coupling())
+                for name, kw in shapes]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(
+        ["fabric", "pod-block coupling"],
+        [[name, f"{frac:.3f}"] for name, frac in rows],
+        title="\n[§7 ablation] fraction of a pod block's upward links "
+              "shared across pods (higher = costlier to split pods)"))
+    assert all(0 < frac < 0.5 for _, frac in rows)

@@ -1,0 +1,40 @@
+"""Ablation: rate-update distribution designs (§7).
+
+"Sending tiny rate updates of a few bytes has huge overhead ...  When
+sending an 8-byte rate update there is a 10x overhead.  A
+straightforward solution to scale the allocator 10x would be to employ
+a group of intermediary servers ... scaling up to a few thousand
+endpoints."  This bench reproduces that arithmetic at the measured
+§6.4 update rates.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.control import direct_update_plane, intermediary_update_plane
+
+from _common import report
+
+#: §6.4: per-server update overhead 1.12 % of a 10 G NIC.
+PAPER_OVERHEAD = 0.0112
+UPDATE_RATE = PAPER_OVERHEAD * 10e9 / 8.0 / 84.0  # updates/s/server
+
+
+def test_update_plane_scaling(benchmark):
+    def run():
+        direct = direct_update_plane(UPDATE_RATE, nic_gbps=10.0)
+        relayed = intermediary_update_plane(UPDATE_RATE, nic_gbps=10.0)
+        return direct, relayed
+
+    direct, relayed = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(
+        ["design", "endpoints/NIC", "intermediaries", "alloc B/s/endpoint"],
+        [["direct (84 B frames)", direct.endpoints_per_nic, 0,
+          f"{direct.allocator_bytes_per_endpoint:.0f}"],
+         ["MTU via intermediaries", relayed.endpoints_per_nic,
+          relayed.intermediaries,
+          f"{relayed.allocator_bytes_per_endpoint:.0f}"]],
+        title="\n[§7 ablation] rate-update plane scaling "
+              "(paper: 89 servers direct, ~10x via intermediaries)"))
+    assert direct.endpoints_per_nic == pytest.approx(89, abs=3)
+    assert 8.0 <= relayed.scaling_vs(direct) <= 20.0

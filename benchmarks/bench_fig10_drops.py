@@ -1,0 +1,40 @@
+"""Fig. 10 / §6.5 (H): dropped data per second.
+
+Paper: sfqCoDel drops up to ~8 % of bytes (over 100 Gbit/s at load
+0.8), pFabric ~6 %; Flowtune, DCTCP and XCP drop negligible amounts
+(Flowtune and XCP in particular are ~zero).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+
+from _common import SCALE, FCT_SCHEMES, fct_run, report
+
+
+def test_drop_rates(benchmark):
+    load = SCALE.loads[-1]
+
+    def run():
+        table = {}
+        for scheme in FCT_SCHEMES:
+            net, stats, duration = fct_run(scheme, load)
+            dropped = stats.drop_gbps(net.links, duration)
+            transmitted = sum(l.tx_bytes for l in net.links)
+            fraction = stats.dropped_bytes(net.links) / max(transmitted, 1)
+            table[scheme] = (dropped, fraction)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(
+        ["scheme", "dropped Gbit/s", "fraction of bytes"],
+        [[s, f"{g:.2f}", f"{f:.2%}"] for s, (g, f) in table.items()],
+        title=f"\n[fig 10] drop rates at load={load} "
+              "(paper: sfqCoDel ~8%, pFabric ~6%, others ~0)"))
+
+    # Shape: the drop-based schemes drop real volume; Flowtune and XCP
+    # are near-zero.
+    assert table["flowtune"][0] < 0.1
+    assert table["xcp"][0] < 0.1
+    assert table["sfqcodel"][0] > 5 * max(table["flowtune"][0], 0.01)
+    assert table["pfabric"][0] > 5 * max(table["flowtune"][0], 0.01)

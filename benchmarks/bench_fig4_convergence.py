@@ -1,0 +1,75 @@
+"""Fig. 4 + §6.3: convergence to fair allocation under flow churn.
+
+Five senders to one receiver; a flow joins every interval, then one
+leaves every interval.  The paper's claims: Flowtune reaches the 1/N
+fair share within ~20-100 µs of each event; DCTCP takes milliseconds
+and fluctuates; pFabric starves all but one flow; sfqCoDel is fair but
+bursty; XCP is conservative.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import convergence_time, format_table
+from repro.sim.experiments import convergence_experiment
+from repro.topology import TwoTierClos
+
+from _common import SCALE, report
+
+SCHEMES = ("flowtune", "dctcp", "pfabric", "sfqcodel", "xcp")
+
+_RESULTS = {}
+
+
+def _run(scheme):
+    if scheme not in _RESULTS:
+        topology = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
+        interval = SCALE.convergence_interval
+        # Size each flow so it cannot drain before its scheduled stop
+        # even if it briefly holds the whole 10 G link.
+        flow_gbits = 10.0 * interval * 7
+        network, flow_ids = convergence_experiment(
+            scheme, n_senders=5, join_interval=interval,
+            topology=topology, flow_gbits=flow_gbits)
+        _RESULTS[scheme] = (network, flow_ids, interval)
+    return _RESULTS[scheme]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_convergence(benchmark, scheme):
+    network, flow_ids, interval = benchmark.pedantic(
+        _run, args=(scheme,), rounds=1, iterations=1)
+    t_end = network.sim.now
+    window = network.stats.throughput_window
+    series = {f: network.stats.throughput_series(f, t_end)
+              for f in flow_ids}
+
+    # Mid-phase per-flow rates (the fig. 4 staircase).
+    rows = []
+    for phase in range(1, 6):
+        t = (phase - 0.5) * interval
+        idx = int(t / window)
+        rates = [series[f][1][idx] for f in flow_ids]
+        rows.append([f"{t * 1e3:.1f} ms", phase]
+                    + [f"{r:.2f}" for r in rates])
+    report(format_table(
+        ["time", "N active"] + [f"flow{i}" for i in range(5)],
+        rows, title=f"\n[fig 4] per-flow Gbit/s, scheme={scheme}"))
+
+    # Convergence time of flow 1 to the 2-flow fair share.
+    times, gbps = series[flow_ids[1]]
+    conv = convergence_time(times, gbps, event_time=interval,
+                            target=9.9 / 2, tolerance=0.2,
+                            hold=5 * window)
+    report(f"[§6.3] {scheme}: flow1 -> fair share in "
+           f"{conv * 1e6:.0f} us after joining"
+           if np.isfinite(conv) else
+           f"[§6.3] {scheme}: flow1 never reached the fair share")
+    if scheme == "flowtune":
+        # Paper: within ~100 us (we allow the control-plane RTT plus a
+        # few 100 us sampling windows).
+        assert conv < 10 * 100e-6
+    if scheme == "pfabric":
+        idx = int(4.5 * interval / window)
+        rates = sorted(series[f][1][idx] for f in flow_ids)
+        assert rates[0] < 0.25 * max(rates[-1], 1e-9)  # starvation

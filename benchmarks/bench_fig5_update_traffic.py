@@ -1,0 +1,61 @@
+"""Fig. 5 / §6.4 (C): allocator control traffic vs load and workload.
+
+Paper: with a 0.01 threshold the from-allocator traffic is < 0.17 %,
+0.57 % and 1.13 % of network capacity for the Hadoop, cache and web
+workloads, and traffic *to* the allocator is substantially lower.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.fluid import measure_update_traffic
+
+from _common import SCALE, report
+
+PAPER_FRACTIONS = {"hadoop": 0.0017, "cache": 0.0057, "web": 0.0113}
+
+
+@pytest.mark.parametrize("workload", ["hadoop", "cache", "web"])
+def test_update_traffic(benchmark, workload):
+    def run():
+        rows = []
+        for load in SCALE.loads:
+            point = measure_update_traffic(
+                workload=workload, load=load, threshold=0.01,
+                duration=SCALE.fluid_duration, warmup=SCALE.fluid_warmup,
+                seed=5, n_racks=SCALE.n_racks,
+                hosts_per_rack=SCALE.hosts_per_rack,
+                n_spines=SCALE.n_spines)
+            rows.append((load, point["from_allocator"],
+                         point["to_allocator"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(
+        ["load", "from allocator", "to allocator"],
+        [[f"{load:.1f}", f"{frm:.4%}", f"{to:.4%}"]
+         for load, frm, to in rows],
+        title=f"\n[fig 5] control traffic fraction, workload={workload} "
+              f"(paper max: {PAPER_FRACTIONS[workload]:.2%})"))
+    worst = max(frm for _, frm, _ in rows)
+    # Shape: overhead is a small fraction of capacity at every load.
+    assert worst < 0.05
+
+
+def test_workload_ordering(benchmark):
+    def run():
+        fractions = {}
+        for workload in ("hadoop", "cache", "web"):
+            point = measure_update_traffic(
+                workload=workload, load=0.8, threshold=0.01,
+                duration=SCALE.fluid_duration, warmup=SCALE.fluid_warmup,
+                seed=5, n_racks=SCALE.n_racks,
+                hosts_per_rack=SCALE.hosts_per_rack,
+                n_spines=SCALE.n_spines)
+            fractions[workload] = point["from_allocator"]
+        return fractions
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"[fig 5] at load 0.8: " + ", ".join(
+        f"{k}={v:.4%}" for k, v in fractions.items()))
+    assert fractions["hadoop"] < fractions["cache"] < fractions["web"]

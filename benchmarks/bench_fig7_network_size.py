@@ -1,0 +1,52 @@
+"""Fig. 7 / §6.4 (E): update traffic stays a constant capacity fraction
+as the network grows (no debilitating cascades).
+
+Paper sweeps 128 to 2048 servers; the fraction of capacity consumed by
+rate updates stays flat per load — the notification threshold stops
+updates from cascading network-wide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.fluid import measure_update_traffic
+
+from _common import SCALE, report
+
+# Server counts per scale (paper: 128..2048).
+SERVER_SWEEP = {
+    "smoke": (32, 64),
+    "small": (128, 256, 512),
+    "paper": (128, 256, 512, 1024, 2048),
+}
+
+
+def test_constant_fraction_vs_size(benchmark):
+    counts = SERVER_SWEEP[SCALE.name]
+    loads = SCALE.loads[-2:]
+
+    def run():
+        series = {load: [] for load in loads}
+        for n_servers in counts:
+            n_racks = max(2, n_servers // 16)
+            for load in loads:
+                point = measure_update_traffic(
+                    workload="web", load=load, threshold=0.01,
+                    duration=max(SCALE.fluid_duration / 2, 1e-3),
+                    warmup=SCALE.fluid_warmup / 2, seed=9,
+                    n_racks=n_racks, hosts_per_rack=16, n_spines=4)
+                series[load].append(point["from_allocator"])
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[n] + [f"{series[load][i]:.4%}" for load in loads]
+            for i, n in enumerate(counts)]
+    report(format_table(
+        ["servers"] + [f"load {load}" for load in loads], rows,
+        title="\n[fig 7] from-allocator traffic fraction vs network size"))
+    for load in loads:
+        values = np.asarray(series[load])
+        # Shape: flat in network size — no cascading blow-up.  Allow
+        # 2.5x wiggle across the sweep (finite-duration noise).
+        assert values.max() < 2.5 * max(values.min(), 1e-6)

@@ -1,0 +1,54 @@
+"""Fig. 8 / §6.5 (F): p99 FCT speedup of Flowtune, by flow-size bin.
+
+Paper headline ratios (web workload):
+* vs DCTCP: 8.6-10.9x on 1-packet flows, 2.1-2.9x on 1-10 packets;
+* vs pFabric: 1.7-2.4x on 1-packet flows, pFabric comparable/winning
+  on 1-100 packets (it is built to prioritize them);
+* vs sfqCoDel: 3.5-3.8x on 10-100 packets at high load;
+* vs XCP: 2.35x on 1-packet, 1.2-4.1x elsewhere.
+
+Every scheme replays the *same* Poisson arrival sequence, so ratios
+compare identical traffic.
+"""
+
+import pytest
+
+from repro.analysis import format_table, normalized_fcts, speedup_by_bin
+from repro.analysis.fct import SIZE_BINS
+
+from _common import SCALE, FCT_SCHEMES, fct_run, report
+
+BASELINES = tuple(s for s in FCT_SCHEMES if s != "flowtune")
+
+
+@pytest.mark.parametrize("load", [SCALE.loads[0], SCALE.loads[-1]])
+def test_p99_fct_speedups(benchmark, load):
+    def run():
+        reference_net, reference_stats, _ = fct_run("flowtune", load)
+        flowtune_norm = normalized_fcts(reference_stats,
+                                        reference_net.topology)
+        table = {}
+        for scheme in BASELINES:
+            net, stats, _ = fct_run(scheme, load)
+            table[scheme] = speedup_by_bin(
+                normalized_fcts(stats, net.topology), flowtune_norm)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = [label for label, _, _ in SIZE_BINS]
+    rows = [[scheme] + [f"{table[scheme].get(label, float('nan')):.2f}"
+                        for label in labels]
+            for scheme in BASELINES]
+    report(format_table(
+        ["scheme \\ bin"] + labels, rows,
+        title=f"\n[fig 8] p99 FCT speedup of Flowtune, load={load} "
+              "(>1 means Flowtune faster)"))
+
+    # Shape assertions (the paper's direction, generous tolerances).
+    # DCTCP loses badly on short flows at every load; the
+    # pFabric/Flowtune split and the XCP gap only emerge at high load.
+    assert table["dctcp"].get("1 packet", 0) > 1.5
+    if load >= 0.6:
+        if "10-100 packets" in table["pfabric"]:
+            assert table["pfabric"]["10-100 packets"] > 0.8
+        assert table["xcp"].get("1-10 packets", 0) > 0.8

@@ -1,0 +1,56 @@
+"""§6.1 table: multicore allocator runtime vs cores, flows, nodes.
+
+Reproduces the seven-row table two ways:
+
+1. the calibrated cycle cost model over the *real* partitioning and
+   fig. 3 schedule (paper-vs-model columns), and
+2. actual wall-clock of the simulated multicore engine on scaled-down
+   fabrics (shape check: runtime grows with flows/core and LinkBlock
+   size, sub-linearly with cores).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.parallel import (PAPER_TABLE, MulticoreNedEngine, fit_cost_model)
+from repro.topology import TwoTierClos
+
+from _common import report
+
+
+def test_cost_model_table(benchmark):
+    model, configs, predictions = benchmark(fit_cost_model)
+    rows = []
+    for row, config, predicted in zip(PAPER_TABLE, configs, predictions):
+        rows.append([row.cores, row.nodes, row.flows,
+                     f"{row.cycles:.0f}", f"{predicted:.0f}",
+                     f"{row.time_us:.2f}", f"{model.time_us(config):.2f}",
+                     f"{100 * (predicted / row.cycles - 1):+.1f}%"])
+    report(format_table(
+        ["cores", "nodes", "flows", "paper cyc", "model cyc",
+         "paper us", "model us", "err"],
+        rows, title="\n[§6.1 table] allocator runtime (calibrated model)"))
+    errors = [abs(p / r.cycles - 1) for p, r in zip(predictions, PAPER_TABLE)]
+    assert max(errors) < 0.10
+
+
+@pytest.mark.parametrize("n_blocks,flows_per_host", [(2, 8), (4, 8), (8, 8)])
+def test_engine_wall_clock(benchmark, n_blocks, flows_per_host):
+    """Wall time of one parallel iteration on a scaled fabric."""
+    topology = TwoTierClos(n_racks=n_blocks * 2, hosts_per_rack=8,
+                           n_spines=4)
+    engine = MulticoreNedEngine(topology, n_blocks)
+    rng = np.random.default_rng(0)
+    for i in range(flows_per_host * topology.n_hosts):
+        src = int(rng.integers(topology.n_hosts))
+        dst = int(rng.integers(topology.n_hosts - 1))
+        if dst >= src:
+            dst += 1
+        engine.add_flow(i, src, dst)
+    engine.iterate(3)  # warm up
+    stats = benchmark(engine.iterate, 1)
+    report(f"[§6.1 engine] {n_blocks * n_blocks} procs, "
+           f"{engine.n_flows} flows: {stats.messages} LinkBlock msgs, "
+           f"{stats.aggregation_steps} agg steps")
+    assert stats.aggregation_steps == int(np.log2(n_blocks))

@@ -1,0 +1,18 @@
+"""Benchmark collection configuration."""
+
+import sys
+from pathlib import Path
+
+# Allow `import _common` from sibling benchmark modules regardless of
+# the pytest rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+import _common  # noqa: E402
+
+
+def pytest_configure(config):
+    # Paper-vs-measured tables must land on the real stdout; pytest's
+    # fd-level capture would swallow plain prints, so report() suspends
+    # capture around each write.
+    _common.CAPTURE_MANAGER = config.pluginmanager.get_plugin(
+        "capturemanager")

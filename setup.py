@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has no `wheel` package, so the
+PEP 660 editable-install path (which shells out to bdist_wheel) is
+unavailable; `setup.py develop` works with plain setuptools."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a full reproduction of Flowtune (NSDI 2017).
+
+Flowtune performs congestion control at *flowlet* granularity: a
+centralized allocator receives flowlet start/end notifications from
+endpoints, solves a network utility maximization problem with the
+Newton-Exact-Diagonal (NED) method, normalizes the rates to link
+capacities (F-NORM), and pushes explicit rates back to endpoints.
+
+Subpackages
+-----------
+``repro.core``
+    NED and the compared optimizers, U/F-NORM, the allocator.
+``repro.parallel``
+    The FlowBlock/LinkBlock multicore partitioning (§5).
+``repro.topology``
+    Two-tier Clos topologies and routing.
+``repro.workloads``
+    Facebook Web/Cache/Hadoop flowlet-size workloads (Poisson churn).
+``repro.fluid``
+    Flowlet-level (fluid) simulation of allocator dynamics.
+``repro.sim``
+    Packet-level event simulator (ns2 stand-in).
+``repro.transport``
+    DCTCP, pFabric, Cubic/sfqCoDel, XCP and Flowtune endpoints.
+``repro.control``
+    Flowtune's in-network control plane (notifications, rate updates).
+``repro.fastpass``
+    Fastpass-style timeslot arbiter (throughput comparison baseline).
+``repro.analysis``
+    FCT/fairness/convergence metrics used by the paper's figures.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers, rows, title=None):
+    """Monospace table with right-aligned numeric columns."""
+    def render(cell):
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rendered)) if rendered
+              else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name, pairs, x_label="x", y_label="y"):
+    """A named (x, y) series as an aligned two-column block."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in pairs:
+        x_str = f"{x:.4g}" if isinstance(x, float) else str(x)
+        y_str = f"{y:.4g}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x_str:>10}  {y_str:>12}")
+    return "\n".join(lines)

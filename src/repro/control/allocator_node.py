@@ -1,0 +1,155 @@
+"""The allocator as a simulated device on the fabric (fig. 1 in ns2).
+
+Attached to every spine over dedicated 40 Gbit/s links (§6.2).  All
+control traffic traverses the network and is only *applied* once its
+bytes arrive — the paper's ns2 fidelity requirement.  Every
+``allocator_period`` (10 µs):
+
+1. buffered, deduplicated notifications are applied to the embedded
+   :class:`~repro.core.allocator.FlowtuneAllocator` (flowlet start/end);
+2. one NED iteration runs, F-NORM normalizes, and the threshold filter
+   picks the flows whose endpoints must hear about their new rate;
+3. updates are batched per destination server into single frames
+   (6 bytes per update, §6.2) and sent unreliably — rates are
+   soft-state.
+
+An ``ends-before-starts`` race (the ARQ can reorder a retransmitted
+start behind an end) is handled by parking orphan ends for the next
+tick.
+"""
+
+from __future__ import annotations
+
+from ..core.allocator import FlowtuneAllocator
+from ..core.ned import NedOptimizer
+from ..core.normalization import FNormalizer
+from ..sim.devices import Device
+from ..sim.packet import Packet
+from .endpoint import control_frame_bytes
+from .messages import RATE_UPDATE_BYTES
+
+__all__ = ["AllocatorNode"]
+
+#: Give up re-trying an orphan end after this many ticks (lost start
+#: would otherwise leak a phantom removal forever).
+MAX_ORPHAN_TICKS = 64
+
+
+class AllocatorNode(Device):
+    """The centralized allocator as a network-attached device."""
+
+    def __init__(self, network, allocator: FlowtuneAllocator | None = None):
+        self.network = network
+        self.sim = network.sim
+        self.config = network.config
+        topology = network.topology
+        if allocator is None:
+            # Reserve headroom for reverse-path ACKs and control frames
+            # (the allocator prices data flows only), and use
+            # scale-down-only F-NORM: in the online setting, scaling
+            # flows *up* the instant a flowlet departs double-books
+            # links for the ~2 ticks it takes the scale-downs to reach
+            # other endpoints.  Both trade a sliver of throughput for
+            # the near-empty queues §6.5 measures.
+            links = topology.link_set()
+            links.capacity *= 1.0 - self.config.allocator_capacity_margin
+            allocator = FlowtuneAllocator(
+                links,
+                optimizer_cls=NedOptimizer,
+                normalizer=FNormalizer(allow_scale_up=False),
+                update_threshold=self.config.update_threshold,
+                gamma=self.config.allocator_gamma)
+        self.allocator = allocator
+        self.topology = topology
+        network.attach_allocator(self)
+        self._seen = set()          # (host, seq) dedupe for the ARQ
+        self._inbox = []            # (kind, data) to apply at next tick
+        self._orphan_ends = {}      # flow_id -> remaining retries
+        self._flow_src = {}         # flow_id -> source host
+        self.iterations = 0
+        self.name = "allocator"
+        # Periodic; must not keep the simulation alive on its own.
+        self.sim.after(self.config.allocator_period, self._tick,
+                       daemon=True)
+
+    # ------------------------------------------------------------------
+    # packet intake
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet):
+        payload = packet.payload
+        if payload is None or payload[0] != "notify":
+            return
+        _, seq, host_id, kind, data = payload
+        self._ack(host_id, seq)
+        key = (host_id, seq)
+        if key in self._seen:
+            return  # ARQ duplicate
+        self._seen.add(key)
+        self._inbox.append((kind, data))
+
+    def _ack(self, host_id, seq):
+        route = self.network.control_route_from_allocator(host_id)
+        ack = Packet(None, seq, 64, Packet.CONTROL, route)
+        ack.payload = ("ctrl_ack", seq)
+        ack.hop = 0
+        self.network.stats.control_bytes_from_allocator += 64
+        route[0].send(ack)
+
+    # ------------------------------------------------------------------
+    # the 10 µs allocation loop
+    # ------------------------------------------------------------------
+    def _tick(self):
+        self._apply_inbox()
+        if self.allocator.n_flows:
+            result = self.allocator.iterate(1)
+            self.iterations += 1
+            self._send_updates(result.updates)
+        self.sim.after(self.config.allocator_period, self._tick,
+                       daemon=True)
+
+    def _apply_inbox(self):
+        inbox, self._inbox = self._inbox, []
+        retry_ends = []
+        for flow_id, retries in list(self._orphan_ends.items()):
+            inbox.append(("end", (flow_id,)))
+            if retries <= 1:
+                del self._orphan_ends[flow_id]
+            else:
+                self._orphan_ends[flow_id] = retries - 1
+        for kind, data in inbox:
+            if kind == "start":
+                flow_id, src, dst = data
+                if flow_id in self.allocator:
+                    continue
+                route = self.topology.route(src, dst, flow_id)
+                self.allocator.flowlet_start(flow_id, route)
+                self._flow_src[flow_id] = src
+            else:  # "end"
+                flow_id = data[0]
+                if flow_id in self.allocator:
+                    self.allocator.flowlet_end(flow_id)
+                    self._flow_src.pop(flow_id, None)
+                    self._orphan_ends.pop(flow_id, None)
+                elif flow_id not in self._orphan_ends:
+                    retry_ends.append(flow_id)
+        for flow_id in retry_ends:
+            self._orphan_ends[flow_id] = MAX_ORPHAN_TICKS
+
+    def _send_updates(self, updates):
+        if not updates:
+            return
+        per_host = {}
+        for update in updates:
+            src = self._flow_src.get(update.flow_id)
+            if src is None:
+                continue
+            per_host.setdefault(src, []).append(
+                (update.flow_id, update.rate))
+        for host_id, rates in per_host.items():
+            frame = control_frame_bytes(RATE_UPDATE_BYTES * len(rates))
+            route = self.network.control_route_from_allocator(host_id)
+            packet = Packet(None, -1, frame, Packet.CONTROL, route)
+            packet.payload = ("rates", rates)
+            packet.hop = 0
+            self.network.stats.control_bytes_from_allocator += frame
+            route[0].send(packet)

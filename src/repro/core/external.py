@@ -1,0 +1,93 @@
+"""External (unscheduled) traffic support — the §7 "closed loop".
+
+Datacenters exchange traffic with the outside world, which the
+allocator does not schedule.  §7: "with NED, it is straightforward to
+dynamically adjust link capacities or add dummy flows for external
+traffic; a 'closed loop' version of the allocator would gather network
+feedback observed by endpoints, and adjust its operation based on this
+feedback."
+
+:class:`ExternalTrafficManager` implements both halves:
+
+* **open loop** — :meth:`set_external` pins a known external load on a
+  link (e.g. a gateway's provisioned share);
+* **closed loop** — :meth:`observe` feeds endpoint-measured external
+  throughput samples, EWMA-smoothed, into the same adjustment.
+
+Either way the allocator's *effective* capacity for a link becomes
+``(base - external) * (1 - threshold)``, floored at a small epsilon so
+scheduled flows are squeezed rather than zeroed, and the optimizer's
+capacity-derived caches (per-flow caps, NED idle prices) are
+refreshed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .allocator import FlowtuneAllocator
+
+__all__ = ["ExternalTrafficManager"]
+
+#: Never let effective capacity reach zero — scheduled flows must keep
+#: draining (§7's gateways would otherwise deadlock).
+MIN_CAPACITY_FRACTION = 0.01
+
+
+class ExternalTrafficManager:
+    """Adjusts a live allocator's link capacities for external load."""
+
+    def __init__(self, allocator: FlowtuneAllocator, smoothing: float = 0.3):
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.allocator = allocator
+        self.smoothing = float(smoothing)
+        # Base = full capacities x headroom (what the allocator boots
+        # with before any external traffic).
+        self._base = allocator.table.links.capacity.copy()
+        self.external = np.zeros_like(self._base)
+
+    # ------------------------------------------------------------------
+    # open loop
+    # ------------------------------------------------------------------
+    def set_external(self, link, gbps):
+        """Declare ``gbps`` of unscheduled traffic on ``link``."""
+        if gbps < 0:
+            raise ValueError("external traffic cannot be negative")
+        self.external[link] = float(gbps)
+        self._apply()
+
+    def clear(self):
+        """Remove all external adjustments."""
+        self.external[:] = 0.0
+        self._apply()
+
+    # ------------------------------------------------------------------
+    # closed loop
+    # ------------------------------------------------------------------
+    def observe(self, link, measured_gbps):
+        """Fold an endpoint's external-throughput measurement in.
+
+        Repeated observations EWMA toward the measured level, so
+        transient bursts do not whipsaw the scheduled allocation —
+        the "what feedback to gather and how to react" compromise §7
+        discusses.
+        """
+        if measured_gbps < 0:
+            raise ValueError("measured traffic cannot be negative")
+        current = self.external[link]
+        self.external[link] = ((1.0 - self.smoothing) * current
+                               + self.smoothing * float(measured_gbps))
+        self._apply()
+
+    # ------------------------------------------------------------------
+    def effective_capacity(self):
+        floor = self._base * MIN_CAPACITY_FRACTION
+        return np.maximum(self._base - self.external, floor)
+
+    def _apply(self):
+        capacity = self.allocator.table.links.capacity
+        capacity[:] = self.effective_capacity()
+        # Invalidate capacity-derived optimizer state.
+        self.allocator.table.version += 1
+        self.allocator.optimizer.refresh_capacity()

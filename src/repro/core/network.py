@@ -1,0 +1,267 @@
+"""Link and flow state shared by all NUM optimizers.
+
+The allocator's hot loop touches every flow and every link once per
+iteration, so the representation matters.  Datacenter routes are short
+(2 links within a rack, 4 links across the fabric in a two-tier Clos),
+which lets us store all routes in a single padded integer matrix:
+
+* ``routes[f, h]`` is the link index of hop ``h`` of flow ``f``,
+* unused hops point at a *virtual pad link* (index ``n_links``) whose
+  price is pinned to zero and whose capacity is infinite.
+
+With that layout, one optimizer iteration is a handful of vectorized
+numpy operations (fancy-indexed gather for price sums, ``bincount``
+scatter for link loads), with no Python-level per-flow work.  Flowlet
+churn — the common case in Flowtune — is O(route length) per event:
+adding appends a row; removal swaps the last row into the hole so the
+arrays stay dense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinkSet", "FlowTable"]
+
+_INITIAL_CAPACITY = 64
+
+
+class LinkSet:
+    """The set of directed links being allocated, with capacities.
+
+    Capacities are in user-chosen rate units (the experiments use
+    Gbit/s so that prices and Hessians stay well-scaled in float64 and
+    the float32 real-time variants remain usable).
+    """
+
+    def __init__(self, capacities, names=None):
+        self.capacity = np.asarray(capacities, dtype=np.float64).copy()
+        if self.capacity.ndim != 1:
+            raise ValueError("capacities must be a 1-D array")
+        if np.any(self.capacity <= 0):
+            raise ValueError("link capacities must be strictly positive")
+        if names is not None and len(names) != len(self.capacity):
+            raise ValueError("names must match the number of links")
+        self.names = list(names) if names is not None else None
+
+    @property
+    def n_links(self):
+        return len(self.capacity)
+
+    def name_of(self, link):
+        if self.names is None:
+            return f"link{link}"
+        return self.names[link]
+
+    def __len__(self):
+        return self.n_links
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"LinkSet(n_links={self.n_links})"
+
+
+class FlowTable:
+    """Dense, padded table of active flows and their routes.
+
+    Rows are kept contiguous under churn via swap-remove, so positional
+    indices are unstable; stable identity is the user-supplied
+    ``flow_id``.  All query methods return arrays aligned with the
+    current positional order, and :meth:`flow_ids` exposes that order.
+    """
+
+    def __init__(self, links: LinkSet, max_route_len: int = 8):
+        if max_route_len < 1:
+            raise ValueError("max_route_len must be at least 1")
+        self.links = links
+        self.max_route_len = int(max_route_len)
+        self.pad_link = links.n_links  # virtual link used for padding
+        self._routes = np.full(
+            (_INITIAL_CAPACITY, self.max_route_len), self.pad_link, dtype=np.int64
+        )
+        self._weights = np.ones(_INITIAL_CAPACITY, dtype=np.float64)
+        self._ids = [None] * _INITIAL_CAPACITY
+        self._index_of = {}
+        self._n = 0
+        #: incremented on every add/remove; lets optimizers cache
+        #: per-flow derived arrays between churn events.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+    def add_flow(self, flow_id, route, weight=1.0):
+        """Register a flow; returns its (unstable) positional index.
+
+        ``route`` is a sequence of link indices.  Every flow must
+        traverse at least one link (the paper's feasibility condition
+        ``L(s) != {}``).
+        """
+        if flow_id in self._index_of:
+            raise KeyError(f"flow {flow_id!r} is already active")
+        route = np.asarray(route, dtype=np.int64)
+        if route.ndim != 1 or len(route) == 0:
+            raise ValueError("route must be a non-empty 1-D sequence of links")
+        if len(route) > self.max_route_len:
+            raise ValueError(
+                f"route has {len(route)} hops; table supports {self.max_route_len}"
+            )
+        if np.any(route < 0) or np.any(route >= self.links.n_links):
+            raise ValueError("route contains an unknown link index")
+        if weight <= 0:
+            raise ValueError("flow weight must be positive")
+        if self._n == len(self._weights):
+            self._grow()
+        idx = self._n
+        self._routes[idx, :] = self.pad_link
+        self._routes[idx, : len(route)] = route
+        self._weights[idx] = weight
+        self._ids[idx] = flow_id
+        self._index_of[flow_id] = idx
+        self._n += 1
+        self.version += 1
+        return idx
+
+    def remove_flow(self, flow_id):
+        """Remove a flow by id (swap-remove keeps rows dense)."""
+        idx = self._index_of.pop(flow_id)
+        last = self._n - 1
+        if idx != last:
+            self._routes[idx] = self._routes[last]
+            self._weights[idx] = self._weights[last]
+            moved_id = self._ids[last]
+            self._ids[idx] = moved_id
+            self._index_of[moved_id] = idx
+        self._ids[last] = None
+        self._routes[last, :] = self.pad_link
+        self._n -= 1
+        self.version += 1
+        return idx
+
+    def _grow(self):
+        new_cap = max(_INITIAL_CAPACITY, 2 * len(self._weights))
+        routes = np.full((new_cap, self.max_route_len), self.pad_link, dtype=np.int64)
+        routes[: self._n] = self._routes[: self._n]
+        weights = np.ones(new_cap, dtype=np.float64)
+        weights[: self._n] = self._weights[: self._n]
+        ids = [None] * new_cap
+        ids[: self._n] = self._ids[: self._n]
+        self._routes, self._weights, self._ids = routes, weights, ids
+
+    # ------------------------------------------------------------------
+    # queries (views aligned with positional order)
+    # ------------------------------------------------------------------
+    @property
+    def n_flows(self):
+        return self._n
+
+    def __len__(self):
+        return self._n
+
+    def __contains__(self, flow_id):
+        return flow_id in self._index_of
+
+    def index_of(self, flow_id):
+        return self._index_of[flow_id]
+
+    def flow_ids(self):
+        """Current positional order of flow ids (list copy)."""
+        return list(self._ids[: self._n])
+
+    @property
+    def routes(self):
+        """Padded route matrix view, shape ``(n_flows, max_route_len)``."""
+        return self._routes[: self._n]
+
+    @property
+    def weights(self):
+        """Per-flow weight view, shape ``(n_flows,)``."""
+        return self._weights[: self._n]
+
+    def route_of(self, flow_id):
+        """Unpadded route (link-index array) of one flow."""
+        row = self._routes[self._index_of[flow_id]]
+        return row[row != self.pad_link].copy()
+
+    def hop_counts(self):
+        """Number of real (non-pad) hops per flow."""
+        return np.sum(self.routes != self.pad_link, axis=1)
+
+    # ------------------------------------------------------------------
+    # vectorized NUM kernels
+    # ------------------------------------------------------------------
+    def pad(self, per_link, pad_value=0.0, dtype=np.float64):
+        """Extend a per-link vector with the pad-link entry."""
+        padded = np.empty(self.links.n_links + 1, dtype=dtype)
+        padded[:-1] = per_link
+        padded[-1] = pad_value
+        return padded
+
+    def price_sums(self, prices):
+        """Per-flow sums of link prices along each route (rho_s).
+
+        ``prices`` has one entry per real link; the pad link counts as
+        price zero.
+        """
+        padded = self.pad(prices)
+        return padded[self.routes].sum(axis=1)
+
+    def link_totals(self, per_flow):
+        """Scatter per-flow values onto links: ``out[l] = sum_{s in S(l)} v_s``.
+
+        This computes aggregate link load when given rates, and the
+        Hessian diagonal when given rate derivatives.
+        """
+        n = self._n
+        if n == 0:
+            return np.zeros(self.links.n_links, dtype=np.float64)
+        contributions = np.repeat(
+            np.asarray(per_flow, dtype=np.float64), self.max_route_len
+        )
+        totals = np.bincount(
+            self._routes[:n].ravel(),
+            weights=contributions,
+            minlength=self.links.n_links + 1,
+        )
+        return totals[:-1]  # drop the pad link
+
+    def max_link_value(self, per_link):
+        """Per-flow max of a per-link quantity along each route.
+
+        Used by F-NORM: each flow is scaled by its most-congested
+        link's ratio.  The pad link contributes ``-inf`` so it never
+        wins the max.
+        """
+        padded = self.pad(per_link, pad_value=-np.inf)
+        return padded[self.routes].max(axis=1)
+
+    def flows_on_link(self, link):
+        """Positional indices of flows traversing ``link`` (test aid)."""
+        return np.nonzero(np.any(self.routes == link, axis=1))[0]
+
+    def bottleneck_capacity(self):
+        """Per-flow minimum link capacity along each route.
+
+        No feasible allocation can give a flow more than this, so
+        optimizers cap the Equation-3 rates at it — the physical
+        counterpart is the sender NIC line rate.
+        """
+        inverse = 1.0 / self.links.capacity
+        worst = self.max_link_value(inverse)
+        return 1.0 / np.maximum(worst, 1e-300)
+
+    def clone(self):
+        """Deep copy with the same flows (used to solve for the optimum
+        without disturbing the live allocator state)."""
+        copy = FlowTable(self.links, max_route_len=self.max_route_len)
+        for flow_id in self.flow_ids():
+            idx = self._index_of[flow_id]
+            row = self._routes[idx]
+            copy.add_flow(flow_id, row[row != self.pad_link],
+                          weight=float(self._weights[idx]))
+        return copy
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"FlowTable(n_flows={self._n}, n_links={self.links.n_links}, "
+            f"max_route_len={self.max_route_len})"
+        )

@@ -1,0 +1,77 @@
+"""The Newton-like method (Athuraliya & Low, 2000) — measured diagonal.
+
+Like NED, this method scales each link's price update by an estimate of
+the Hessian diagonal; unlike NED it cannot compute the diagonal, so it
+*measures* it: the slope of the link's aggregate rate with respect to
+its own price, estimated from consecutive iterations,
+
+    S_l(t) ~= (G_l(t) - G_l(t-1)) / (p_l(t) - p_l(t-1)),
+
+smoothed with an exponential moving average.  The paper's critique
+(§8): measurements need averaging intervals, carry error, and the
+algorithm is unstable in several settings.  The implementation guards
+the estimate (clamps it negative, falls back to the previous smoothed
+value when the price did not move), but remains faithful to the
+measure-then-scale structure so the instability can be observed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import PriceOptimizer
+
+__all__ = ["NewtonLikeOptimizer"]
+
+
+class NewtonLikeOptimizer(PriceOptimizer):
+    """Diagonal-scaled dual ascent with a *measured* diagonal.
+
+    Parameters
+    ----------
+    gamma:
+        Step-size scale (same role as in NED).
+    smoothing:
+        EWMA weight for new slope measurements (``beta`` in the
+        original paper's averaging; higher reacts faster but is
+        noisier).
+    initial_diagonal:
+        Magnitude of the initial Hessian-diagonal guess before any
+        measurement exists.
+    """
+
+    name = "Newton-like"
+
+    def __init__(self, table, utility=None, gamma: float = 1.0,
+                 smoothing: float = 0.3, initial_diagonal: float = 1.0,
+                 initial_price: float = 1.0):
+        super().__init__(table, utility=utility, initial_price=initial_price)
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.gamma = float(gamma)
+        self.smoothing = float(smoothing)
+        n_links = table.links.n_links
+        self._diag_estimate = np.full(n_links, -abs(initial_diagonal))
+        self._previous_prices = None
+        self._previous_over = None
+
+    def _update_prices(self, rates):
+        over = self.over_allocation(rates)
+        if self._previous_prices is not None:
+            dp = self.prices - self._previous_prices
+            dg = over - self._previous_over
+            measurable = np.abs(dp) > 1e-12
+            slope = np.where(measurable, dg / np.where(measurable, dp, 1.0),
+                             self._diag_estimate)
+            # The true diagonal is negative; discard wrong-signed noise.
+            slope = np.minimum(slope, -1e-12)
+            self._diag_estimate = ((1.0 - self.smoothing) * self._diag_estimate
+                                   + self.smoothing * slope)
+        self._previous_prices = self.prices.copy()
+        self._previous_over = over.copy()
+        step = over / self._diag_estimate
+        new_prices = self.prices - self.gamma * step
+        np.maximum(new_prices, 0.0, out=new_prices)
+        self.prices = new_prices

@@ -1,0 +1,100 @@
+"""Real-time (RT) optimizer variants: NED-RT and Gradient-RT.
+
+Figure 12 of the paper compares the double-precision reference
+implementations with "real-time implementations NED-RT and
+Gradient-RT, which use single-point floating point operations and some
+numeric approximations for speed".  We reproduce that distinction:
+
+* all link/flow state is held and updated in ``float32``;
+* divisions go through a fast reciprocal (one Newton-Raphson refinement
+  of a coarse seed, mirroring what `rcpps`-style SIMD code does) rather
+  than exact division.
+
+The point of the experiment is that the approximations perturb the
+trajectory slightly — over-allocation transients differ from the
+reference — while remaining usable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gradient import GradientOptimizer
+from .ned import NedOptimizer
+
+__all__ = ["fast_reciprocal", "NedRtOptimizer", "GradientRtOptimizer"]
+
+
+def fast_reciprocal(values):
+    """Approximate ``1/x`` in float32 with one Newton-Raphson step.
+
+    The seed intentionally carries a small relative error (like the
+    hardware ``rcpps`` estimate); one refinement step brings it to
+    ~1e-4 relative error, far coarser than an exact divide but much
+    cheaper on real-time SIMD paths.
+    """
+    x = np.asarray(values, dtype=np.float32)
+    with np.errstate(divide="ignore", over="ignore"):
+        seed = np.float32(1.0) / x
+    # Inject the coarse-seed error the hardware estimate would have.
+    seed = seed * np.float32(1.0009765625)  # 1 + 2**-10
+    # Newton-Raphson: r <- r * (2 - x * r)
+    return seed * (np.float32(2.0) - x * seed)
+
+
+class _Float32RateMixin:
+    """float32 rate update with approximate reciprocals (shared by RTs)."""
+
+    def rate_update(self, prices=None):
+        # Same kinked operating point as the reference (see
+        # PriceOptimizer), but float32 with approximate reciprocals.
+        rho = self.effective_price_sums(prices).astype(np.float32)
+        weights = self.table.weights.astype(np.float32)
+        rho = np.maximum(rho, np.float32(1e-9))
+        return (weights * fast_reciprocal(rho)).astype(np.float32)
+
+
+class NedRtOptimizer(_Float32RateMixin, NedOptimizer):
+    """NED with float32 state and approximate reciprocals (fig. 12)."""
+
+    name = "NED-RT"
+
+    def __init__(self, table, utility=None, gamma: float = 1.0,
+                 initial_price: float = 1.0):
+        super().__init__(table, utility=utility, gamma=gamma,
+                         initial_price=initial_price)
+        self.prices = self.prices.astype(np.float32)
+
+    def _update_prices(self, rates):
+        over = self.over_allocation(rates).astype(np.float32)
+        hessian = self.hessian_diagonal().astype(np.float32)
+        carrying = hessian < 0.0
+        inv_h = np.zeros_like(hessian)
+        inv_h[carrying] = -fast_reciprocal(-hessian[carrying])
+        new_prices = np.where(
+            carrying,
+            self.prices.astype(np.float32)
+            - np.float32(self.gamma) * over * inv_h,
+            np.float32(0.0),
+        )
+        np.maximum(new_prices, np.float32(0.0), out=new_prices)
+        self.prices = new_prices
+
+
+class GradientRtOptimizer(_Float32RateMixin, GradientOptimizer):
+    """Gradient projection with float32 state (fig. 12)."""
+
+    name = "Gradient-RT"
+
+    def __init__(self, table, utility=None, gamma: float = 1e-3,
+                 initial_price: float = 1.0):
+        super().__init__(table, utility=utility, gamma=gamma,
+                         initial_price=initial_price)
+        self.prices = self.prices.astype(np.float32)
+
+    def _update_prices(self, rates):
+        over = self.over_allocation(rates).astype(np.float32)
+        new_prices = (self.prices.astype(np.float32)
+                      + np.float32(self.gamma) * over)
+        np.maximum(new_prices, np.float32(0.0), out=new_prices)
+        self.prices = new_prices

@@ -1,0 +1,135 @@
+"""Flow utility functions for network utility maximization (NUM).
+
+The NUM objective is ``max sum_s U_s(x_s)`` subject to link capacity
+constraints.  NED (paper, Algorithm 1) requires each utility to be
+strictly concave, differentiable and monotonically increasing, and
+needs three callable pieces per flow:
+
+* ``rate(price_sum, weight)`` — the profit-maximizing rate given the
+  sum of link prices along the flow's path, i.e. ``(U')^{-1}`` applied
+  to the price sum (Equation 3 in the paper).
+* ``rate_derivative(price_sum, weight)`` — ``d rate / d price_sum``,
+  the per-flow contribution to the exact Hessian diagonal ``H_ll``
+  (Equation 4).
+* ``value(x, weight)`` — the utility itself, used for fairness scores
+  and for verifying optimality.
+
+Weights are passed per call (as scalars or per-flow vectors) rather
+than stored on the utility object because the set of flows churns with
+every flowlet arrival and departure; the allocator owns the weight
+vector and the utility stays stateless.
+
+All implementations are vectorized: they accept and return numpy
+arrays so the allocator can update tens of thousands of flows in a
+single call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Utility", "LogUtility", "AlphaFairUtility", "MIN_PRICE_SUM"]
+
+# Prices can momentarily be zero on uncongested links; clamping the
+# per-flow price sum bounds rates instead of letting them diverge.
+MIN_PRICE_SUM = 1e-9
+
+
+class Utility:
+    """Base class for NUM utility functions.
+
+    Subclasses must be strictly concave, differentiable and monotone
+    increasing (the paper's admissibility conditions for NED, §3).
+    """
+
+    def value(self, x, weight=1.0):
+        """Return ``U(x)`` elementwise."""
+        raise NotImplementedError
+
+    def rate(self, price_sum, weight=1.0):
+        """Return ``(U')^{-1}(price_sum)`` elementwise (Equation 3)."""
+        raise NotImplementedError
+
+    def rate_derivative(self, price_sum, weight=1.0):
+        """Return ``d/dp (U')^{-1}(p)`` at ``p = price_sum``.
+
+        Negative for any strictly concave utility.
+        """
+        raise NotImplementedError
+
+    def inverse_rate(self, x, weight=1.0):
+        """Return ``U'(x)``, the price sum at which ``x`` is optimal.
+
+        Used to warm-start prices and to verify KKT conditions in
+        tests.
+        """
+        raise NotImplementedError
+
+
+class LogUtility(Utility):
+    """Weighted proportional fairness: ``U(x) = w * log(x)``.
+
+    This is the paper's primary objective.  With ``rho`` the sum of
+    link prices along the flow, the rate update is ``x = w / rho`` and
+    its derivative is ``-w / rho**2``.
+    """
+
+    def value(self, x, weight=1.0):
+        x = np.asarray(x, dtype=np.float64)
+        return weight * np.log(np.maximum(x, MIN_PRICE_SUM))
+
+    def rate(self, price_sum, weight=1.0):
+        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
+        return weight / rho
+
+    def rate_derivative(self, price_sum, weight=1.0):
+        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
+        return -weight / (rho * rho)
+
+    def inverse_rate(self, x, weight=1.0):
+        x = np.maximum(np.asarray(x, dtype=np.float64), MIN_PRICE_SUM)
+        return weight / x
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "LogUtility()"
+
+
+class AlphaFairUtility(Utility):
+    """Alpha-fair utilities ``U(x) = w * x^(1-alpha) / (1-alpha)``.
+
+    ``alpha = 1`` reduces to :class:`LogUtility` (proportional
+    fairness); ``alpha -> inf`` approaches max-min fairness; ``alpha =
+    2`` approximates minimum potential delay.  The paper notes NED
+    supports any admissible utility — this class exercises that claim.
+    """
+
+    def __init__(self, alpha):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive for strict concavity")
+        if abs(alpha - 1.0) < 1e-12:
+            raise ValueError("alpha == 1 is LogUtility; use that class")
+        self.alpha = float(alpha)
+
+    def value(self, x, weight=1.0):
+        x = np.maximum(np.asarray(x, dtype=np.float64), MIN_PRICE_SUM)
+        return weight * x ** (1.0 - self.alpha) / (1.0 - self.alpha)
+
+    def rate(self, price_sum, weight=1.0):
+        # U'(x) = w * x^{-alpha}  =>  x = (w / rho)^{1/alpha}
+        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
+        return (weight / rho) ** (1.0 / self.alpha)
+
+    def rate_derivative(self, price_sum, weight=1.0):
+        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
+        return (
+            -(1.0 / self.alpha)
+            * (weight ** (1.0 / self.alpha))
+            * rho ** (-1.0 / self.alpha - 1.0)
+        )
+
+    def inverse_rate(self, x, weight=1.0):
+        x = np.maximum(np.asarray(x, dtype=np.float64), MIN_PRICE_SUM)
+        return weight * x ** (-self.alpha)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"AlphaFairUtility(alpha={self.alpha})"

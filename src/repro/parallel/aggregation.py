@@ -1,0 +1,110 @@
+"""The fig. 3 LinkBlock aggregation schedule.
+
+Processors form an ``n x n`` grid (``n`` a power of two); processor
+``(r, c)`` owns FlowBlock ``(r, c)`` and holds *partial* sums for
+upward LinkBlock ``r`` and downward LinkBlock ``c``.  Aggregation runs
+``log2(n)`` steps; at the end of step ``m``, every ``2^m x 2^m``
+processor group has its upward LinkBlocks fully aggregated (over the
+group's columns) on the group's main diagonal, and its downward
+LinkBlocks (over the group's rows) on the secondary diagonal.
+
+Each step therefore moves exactly one LinkBlock per row (upward) and
+one per column (downward) between the two halves of each group —
+uniform bandwidth, ``2n`` messages per step, ``log2(n)`` steps for
+``n^2`` processors (the paper's "the number of steps increases every
+quadrupling of processors, not doubling").
+
+This module only *generates* the schedule — (source, target,
+block-index) transfer triples per step — so the engine can execute it
+and tests can verify its algebraic properties independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Transfer", "aggregation_schedule", "distribution_schedule",
+           "final_up_holder", "final_down_holder"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One LinkBlock hand-off: ``src`` processor sends its partial of
+    ``block`` (an upward block if ``upward`` else downward) to ``dst``,
+    which merges (aggregation) or overwrites (distribution)."""
+
+    src: tuple
+    dst: tuple
+    block: int
+    upward: bool
+
+
+def _up_holder(row, group_origin_col, group_size):
+    """Column of the processor holding row ``row``'s upward partial
+    after aggregation over a group of ``group_size`` columns starting
+    at ``group_origin_col`` (main-diagonal position)."""
+    return group_origin_col + (row % group_size)
+
+
+def _down_holder(col, group_origin_row, group_size):
+    """Row of the processor holding column ``col``'s downward partial
+    (secondary-diagonal position)."""
+    return group_origin_row + (group_size - 1 - (col % group_size))
+
+
+def aggregation_schedule(n: int):
+    """Yield per-step transfer lists for an ``n x n`` grid.
+
+    Returns a list of steps; each step is a list of :class:`Transfer`.
+    """
+    if n & (n - 1) or n < 1:
+        raise ValueError("grid side must be a power of two")
+    steps = []
+    size = 2
+    while size <= n:
+        half = size // 2
+        transfers = []
+        for group_row in range(0, n, size):
+            for group_col in range(0, n, size):
+                # Upward blocks: one transfer per row of the group.
+                for k in range(size):
+                    row = group_row + k
+                    left = (row, _up_holder(row, group_col, half))
+                    right = (row, _up_holder(row, group_col + half, half))
+                    target_col = group_col + k
+                    target = (row, target_col)
+                    source = right if target == left else left
+                    assert target in (left, right), "schedule invariant"
+                    transfers.append(Transfer(source, target, row, True))
+                # Downward blocks: one transfer per column of the group.
+                for k in range(size):
+                    col = group_col + k
+                    top = (_down_holder(col, group_row, half), col)
+                    bottom = (_down_holder(col, group_row + half, half), col)
+                    target = (group_row + (size - 1 - k), col)
+                    source = bottom if target == top else top
+                    assert target in (top, bottom), "schedule invariant"
+                    transfers.append(Transfer(source, target, col, False))
+        steps.append(transfers)
+        size *= 2
+    return steps
+
+
+def distribution_schedule(n: int):
+    """The reverse pattern: authoritative holders push updated state
+    back out, step by step, until every processor has fresh copies."""
+    steps = []
+    for step in reversed(aggregation_schedule(n)):
+        steps.append([Transfer(t.dst, t.src, t.block, t.upward)
+                      for t in step])
+    return steps
+
+
+def final_up_holder(n: int, block: int):
+    """Grid position holding upward block ``block`` after aggregation."""
+    return (block, _up_holder(block, 0, n))
+
+
+def final_down_holder(n: int, block: int):
+    """Grid position holding downward block ``block`` after aggregation."""
+    return (_down_holder(block, 0, n), block)

@@ -1,0 +1,19 @@
+"""Packet-level event simulator: the reproduction's ns2 stand-in."""
+
+from .config import SCHEMES, SimConfig
+from .devices import Device, Host, Switch
+from .engine import Simulator, Timer
+from .link import Link
+from .network import PacketNetwork
+from .packet import (ACK_BYTES, DATA_HEADER_BYTES, MSS_BYTES, Packet,
+                     SimFlow, packets_for)
+from .queues import (CoDelState, DropTailQueue, EcnQueue, PFabricQueue,
+                     QueueStats, SfqCoDelQueue, XcpController)
+from .stats import RunStats
+
+__all__ = ["Simulator", "Timer", "Packet", "SimFlow", "packets_for",
+           "MSS_BYTES", "ACK_BYTES", "DATA_HEADER_BYTES", "Link",
+           "Device", "Host", "Switch", "PacketNetwork", "RunStats",
+           "SimConfig", "SCHEMES", "DropTailQueue", "EcnQueue",
+           "PFabricQueue", "SfqCoDelQueue", "CoDelState", "XcpController",
+           "QueueStats"]

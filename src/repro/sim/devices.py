@@ -1,0 +1,74 @@
+"""Hosts and switches for the packet simulator.
+
+Packets carry their full route (a tuple of :class:`~repro.sim.link.Link`
+objects) and a hop index, so switches forward with a single array
+lookup — the simulator analogue of source routing, appropriate because
+Flowtune assumes the allocator knows each flow's path (§7) and ECMP
+pins flows to paths.
+"""
+
+from __future__ import annotations
+
+from .packet import Packet
+
+__all__ = ["Device", "Host", "Switch"]
+
+
+class Device:
+    """Anything a link can deliver packets to."""
+
+    def receive(self, packet: Packet):
+        raise NotImplementedError
+
+
+class Switch(Device):
+    """Forwards along the packet's embedded route."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def receive(self, packet):
+        packet.hop += 1
+        packet.route[packet.hop].send(packet)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Switch({self.name})"
+
+
+class Host(Device):
+    """An endpoint: dispatches packets to per-flow transport agents.
+
+    ``senders``/``receivers`` are keyed by flow id; the optional
+    ``control_agent`` handles Flowtune control-plane packets.
+    """
+
+    __slots__ = ("name", "host_id", "senders", "receivers",
+                 "control_agent", "stats")
+
+    def __init__(self, name, host_id, stats=None):
+        self.name = name
+        self.host_id = host_id
+        self.senders = {}
+        self.receivers = {}
+        self.control_agent = None
+        self.stats = stats
+
+    def receive(self, packet):
+        if packet.kind == Packet.CONTROL:
+            if self.control_agent is not None:
+                self.control_agent.on_packet(packet)
+            return
+        flow_id = packet.flow.flow_id
+        if packet.kind == Packet.DATA:
+            receiver = self.receivers.get(flow_id)
+            if receiver is not None:
+                receiver.on_data(packet)
+        else:  # ACK
+            sender = self.senders.get(flow_id)
+            if sender is not None:
+                sender.on_ack(packet)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Host({self.name})"

@@ -1,0 +1,117 @@
+"""Packets and simulated flows.
+
+One packet class serves every scheme: the scheme-specific header
+fields (pFabric priority, ECN bits, XCP feedback, control payloads)
+are plain slots — a faithful mirror of how ns2 composes headers, and
+``__slots__`` keeps the per-packet footprint small at millions of
+events per run.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Packet", "SimFlow", "MSS_BYTES", "DATA_HEADER_BYTES",
+           "ACK_BYTES", "packets_for"]
+
+#: TCP maximum segment size (payload bytes per full data packet).
+MSS_BYTES = 1460
+#: Ethernet+IP+TCP header bytes added to each data segment.
+DATA_HEADER_BYTES = 40 + 18
+#: Size of a pure ACK (or control ACK) on the wire.
+ACK_BYTES = 64
+
+
+def packets_for(size_bytes):
+    """Number of MSS-sized segments needed for ``size_bytes``."""
+    return max(1, -(-int(size_bytes) // MSS_BYTES))
+
+
+class Packet:
+    """A simulated packet; header fields are scheme-specific slots."""
+
+    __slots__ = (
+        "flow", "seq", "size_bytes", "kind", "route", "hop",
+        "priority", "ecn_ce", "ece", "sent_time", "enqueued_at",
+        "queue_delay", "is_retransmit",
+        "ack_seq", "ack_cum",
+        "xcp_cwnd_bytes", "xcp_rtt", "xcp_feedback",
+        "payload",
+    )
+
+    DATA = 0
+    ACK = 1
+    CONTROL = 2
+
+    def __init__(self, flow, seq, size_bytes, kind, route):
+        self.flow = flow
+        self.seq = seq
+        self.size_bytes = size_bytes
+        self.kind = kind
+        self.route = route        # tuple of Link objects
+        self.hop = -1             # index of the link just traversed
+        self.priority = 0.0       # pFabric: lower = more urgent
+        self.ecn_ce = False       # congestion experienced (marked)
+        self.ece = False          # receiver echo of CE
+        self.sent_time = 0.0
+        self.enqueued_at = 0.0
+        self.queue_delay = 0.0    # accumulated queueing across hops
+        self.is_retransmit = False
+        self.ack_seq = -1         # selective ack: the seq this acks
+        self.ack_cum = 0          # cumulative ack: next expected seq
+        self.xcp_cwnd_bytes = 0.0
+        self.xcp_rtt = 0.0
+        self.xcp_feedback = 0.0   # bytes of window change, router-clamped
+        self.payload = None       # control messages
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        kinds = {0: "DATA", 1: "ACK", 2: "CTRL"}
+        fid = self.flow.flow_id if self.flow is not None else None
+        return (f"Packet({kinds.get(self.kind)}, flow={fid}, "
+                f"seq={self.seq}, hop={self.hop})")
+
+
+class SimFlow:
+    """A flow(let) in the packet simulator, with FCT bookkeeping."""
+
+    __slots__ = (
+        "flow_id", "src", "dst", "size_bytes", "n_packets", "arrival",
+        "route", "reverse_route", "start_time", "finish_time",
+        "first_packet_time", "bytes_delivered", "weight",
+    )
+
+    def __init__(self, flow_id, src, dst, size_bytes, arrival,
+                 route=None, reverse_route=None, weight=1.0):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size_bytes = float(size_bytes)
+        self.n_packets = packets_for(size_bytes)
+        self.arrival = float(arrival)
+        self.route = route
+        self.reverse_route = reverse_route
+        self.start_time = None
+        self.finish_time = None
+        self.first_packet_time = None
+        self.bytes_delivered = 0
+        self.weight = weight
+
+    def segment_bytes(self, seq):
+        """Wire size of data segment ``seq`` (last one may be short)."""
+        if seq < self.n_packets - 1:
+            return MSS_BYTES + DATA_HEADER_BYTES
+        tail = int(self.size_bytes) - (self.n_packets - 1) * MSS_BYTES
+        return max(1, tail) + DATA_HEADER_BYTES
+
+    @property
+    def fct(self):
+        """Flow completion time: arrival to last byte delivered."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival
+
+    @property
+    def n_hops(self):
+        return len(self.route) if self.route is not None else 0
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"SimFlow({self.flow_id}, {self.src}->{self.dst}, "
+                f"{self.n_packets}pkts)")

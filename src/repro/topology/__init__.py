@@ -1,0 +1,9 @@
+"""Datacenter topologies and routing for the Flowtune reproduction."""
+
+from .clos import HOST_DELAY_S, LINK_DELAY_S, TwoTierClos, paper_topology
+from .graph import LinkKind, LinkSpec, Topology
+from .three_tier import ThreeTierClos
+
+__all__ = ["Topology", "LinkSpec", "LinkKind", "TwoTierClos",
+           "ThreeTierClos", "paper_topology", "LINK_DELAY_S",
+           "HOST_DELAY_S"]

@@ -1,0 +1,50 @@
+"""Endpoint transports for every scheme in the paper's evaluation.
+
+``make_sender``/``make_receiver`` are the factory functions the packet
+network uses to start flows; the scheme comes from the run's
+:class:`~repro.sim.config.SimConfig`.
+"""
+
+from .base import ReceiverAgent, SenderBase
+from .cubic import CubicSender
+from .dctcp import DctcpSender
+from .flowtune import FlowtuneSender
+from .pfabric import PFabricSender
+from .tcp import TcpSender
+from .xcp import XcpSender
+
+__all__ = ["SenderBase", "ReceiverAgent", "TcpSender", "CubicSender",
+           "DctcpSender", "PFabricSender", "XcpSender", "FlowtuneSender",
+           "SENDER_CLASSES", "make_sender", "make_receiver"]
+
+#: scheme name -> sender class.  sfqCoDel is a queueing discipline;
+#: its endpoints run Cubic (§6.5 "Cubic-over-sfqCoDel").
+SENDER_CLASSES = {
+    "tcp": TcpSender,
+    "dctcp": DctcpSender,
+    "pfabric": PFabricSender,
+    "sfqcodel": CubicSender,
+    "xcp": XcpSender,
+    "flowtune": FlowtuneSender,
+}
+
+
+def make_sender(network, flow) -> SenderBase:
+    """Instantiate the configured scheme's sender for ``flow``.
+
+    For Flowtune, the host's control agent (if attached) is hooked to
+    the sender's lifecycle so flowlet start/end notifications flow to
+    the allocator.
+    """
+    scheme = network.config.scheme
+    sender_cls = SENDER_CLASSES[scheme]
+    sender = sender_cls(network, flow)
+    if scheme == "flowtune":
+        agent = network.hosts[flow.src].control_agent
+        if agent is not None:
+            agent.register(sender)
+    return sender
+
+
+def make_receiver(network, flow) -> ReceiverAgent:
+    return ReceiverAgent(network, flow)

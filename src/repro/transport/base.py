@@ -1,0 +1,287 @@
+"""Shared reliable-transport machinery for all compared schemes.
+
+Every scheme in §6.5 needs the same substrate: per-packet selective
+ACKs, cumulative-ACK tracking, duplicate-ACK fast retransmit, an RTO
+timer with exponential backoff, and Jacobson/Karn RTT estimation.
+:class:`SenderBase` implements all of it and exposes the hooks the
+schemes differ on:
+
+* :meth:`on_new_ack` — window growth law,
+* :meth:`on_loss` — reaction to a fast-retransmit signal,
+* :meth:`on_timeout` — reaction to an RTO,
+* :meth:`window` — the current send window (packets),
+* :meth:`_priority` / :meth:`_stamp` — per-packet header fields
+  (pFabric priority, XCP congestion header).
+
+The receiver (:class:`ReceiverAgent`) is scheme-independent: it
+selectively acknowledges every data packet, echoes ECN CE marks
+(DCTCP-accurate per-packet echo) and XCP feedback, and records the
+delivery statistics the figures need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..sim.engine import Timer
+from ..sim.packet import ACK_BYTES, MSS_BYTES, Packet
+
+__all__ = ["ReceiverAgent", "SenderBase"]
+
+#: dup-ACK threshold for fast retransmit.
+DUPACK_THRESHOLD = 3
+#: RTO before the first RTT sample exists.
+INITIAL_RTO = 1e-3
+
+
+class ReceiverAgent:
+    """Scheme-independent receiver: selective ACK + ECN/XCP echo."""
+
+    __slots__ = ("network", "sim", "flow", "stats", "received", "cum")
+
+    def __init__(self, network, flow):
+        self.network = network
+        self.sim = network.sim
+        self.flow = flow
+        self.stats = network.stats
+        self.received = bytearray(flow.n_packets)
+        self.cum = 0
+
+    def on_data(self, packet: Packet):
+        flow = self.flow
+        seq = packet.seq
+        if not self.received[seq]:
+            self.received[seq] = 1
+            flow.bytes_delivered += packet.size_bytes
+            self.stats.record_delivery(packet, self.sim.now)
+            while self.cum < flow.n_packets and self.received[self.cum]:
+                self.cum += 1
+            if self.cum == flow.n_packets and flow.finish_time is None:
+                flow.finish_time = self.sim.now
+        ack = Packet(flow, seq, ACK_BYTES, Packet.ACK, flow.reverse_route)
+        ack.ack_seq = seq
+        ack.ack_cum = self.cum
+        ack.ece = packet.ecn_ce
+        ack.xcp_feedback = packet.xcp_feedback
+        ack.xcp_rtt = packet.xcp_rtt
+        ack.priority = 0.0  # ACKs are always most-urgent in pFabric
+        ack.hop = 0
+        flow.reverse_route[0].send(ack)
+
+
+class SenderBase:
+    """Reliable window-based sender; subclasses define the control law."""
+
+    #: On RTO, re-queue *all* unacked packets (go-back-N style).  The
+    #: pFabric sender overrides this to probe with a single packet.
+    timeout_resend_all = True
+
+    def __init__(self, network, flow):
+        self.network = network
+        self.sim = network.sim
+        self.config = network.config
+        self.flow = flow
+        n = flow.n_packets
+        self.acked = bytearray(n)
+        self.was_retransmitted = bytearray(n)
+        self.sent_time = [0.0] * n
+        self.n_acked = 0
+        self.in_flight = set()
+        self.rtx_queue = deque()
+        self._rtx_pending = set()
+        self.next_new = 0
+        self.cum = 0
+        self.dupacks = 0
+        self.cwnd = float(self.config.initial_cwnd)
+        self.ssthresh = float("inf")
+        self.srtt = None
+        self.rttvar = None
+        self.rto = INITIAL_RTO
+        self.timer = Timer(self.sim, self._on_rto)
+        self.done = False
+        self.consecutive_timeouts = 0
+        self.completion_callbacks = []
+        self.start_callbacks = []
+
+    # ------------------------------------------------------------------
+    # scheme hooks
+    # ------------------------------------------------------------------
+    def window(self) -> float:
+        """Current send window in packets."""
+        return self.cwnd
+
+    def on_new_ack(self, ack: Packet):
+        """Window growth on a first-time ACK."""
+
+    def on_loss(self):
+        """Reaction to a fast-retransmit (3 dup-ACK) loss signal."""
+
+    def on_timeout(self):
+        """Reaction to an RTO."""
+
+    def _priority(self) -> float:
+        """pFabric-style packet priority; 0 for FIFO schemes."""
+        return 0.0
+
+    def _stamp(self, packet: Packet):
+        """Scheme-specific header fields (XCP)."""
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def start(self):
+        self.flow.start_time = self.sim.now
+        for callback in self.start_callbacks:
+            callback(self)
+        self.send_pending()
+
+    def _pop_next_seq(self):
+        while self.rtx_queue:
+            seq = self.rtx_queue.popleft()
+            self._rtx_pending.discard(seq)
+            if not self.acked[seq]:
+                return seq, True
+        if self.next_new < self.flow.n_packets:
+            seq = self.next_new
+            self.next_new += 1
+            return seq, False
+        return None, False
+
+    def _has_pending(self):
+        return bool(self.rtx_queue) or self.next_new < self.flow.n_packets
+
+    def send_pending(self):
+        """Fill the window (window-based schemes; pacing overrides)."""
+        while (not self.done and self._has_pending()
+               and len(self.in_flight) < self.window()):
+            seq, retransmit = self._pop_next_seq()
+            if seq is None:
+                break
+            self.send_segment(seq, retransmit)
+
+    def send_segment(self, seq, retransmit):
+        flow = self.flow
+        packet = Packet(flow, seq, flow.segment_bytes(seq), Packet.DATA,
+                        flow.route)
+        packet.sent_time = self.sim.now
+        packet.is_retransmit = retransmit
+        packet.priority = self._priority()
+        self._stamp(packet)
+        if retransmit:
+            self.was_retransmitted[seq] = 1
+        if flow.first_packet_time is None:
+            flow.first_packet_time = self.sim.now
+        self.sent_time[seq] = self.sim.now
+        self.in_flight.add(seq)
+        packet.hop = 0
+        flow.route[0].send(packet)
+        if not self.timer.armed:
+            self.timer.restart(self.rto)
+
+    # ------------------------------------------------------------------
+    # receiving ACKs
+    # ------------------------------------------------------------------
+    def on_ack(self, ack: Packet):
+        if self.done:
+            return
+        seq = ack.ack_seq
+        if not self.acked[seq]:
+            self.acked[seq] = 1
+            self.n_acked += 1
+            self.in_flight.discard(seq)
+            if not self.was_retransmitted[seq]:  # Karn's rule
+                self._rtt_sample(self.sim.now - self.sent_time[seq])
+            self.consecutive_timeouts = 0
+            self.on_new_ack(ack)
+        if ack.ack_cum > self.cum:
+            self.cum = ack.ack_cum
+            self.dupacks = 0
+            if self.n_acked < self.flow.n_packets:
+                self.timer.restart(self.rto)
+        elif seq > self.cum:
+            # The receiver is seeing past a hole at ``cum``.
+            self.dupacks += 1
+            if self.dupacks == DUPACK_THRESHOLD:
+                self.dupacks = 0
+                self._fast_retransmit()
+        if self.n_acked >= self.flow.n_packets:
+            self._complete()
+        else:
+            self.send_pending()
+
+    def _fast_retransmit(self):
+        seq = self.cum
+        if self.acked[seq] or seq in self._rtx_pending:
+            return
+        self.in_flight.discard(seq)
+        self.rtx_queue.append(seq)
+        self._rtx_pending.add(seq)
+        self.on_loss()
+
+    def _on_rto(self):
+        if self.done:
+            return
+        self.consecutive_timeouts += 1
+        if self.timeout_resend_all:
+            # Everything outstanding is presumed lost.
+            for seq in sorted(self.in_flight):
+                if not self.acked[seq] and seq not in self._rtx_pending:
+                    self.rtx_queue.append(seq)
+                    self._rtx_pending.add(seq)
+            self.in_flight.clear()
+        else:
+            seq = self._first_unacked()
+            if seq is not None and seq not in self._rtx_pending:
+                self.in_flight.discard(seq)
+                self.rtx_queue.append(seq)
+                self._rtx_pending.add(seq)
+        self.on_timeout()
+        self.rto = min(self.rto * 2.0, self.config.max_rto)
+        self.timer.restart(self.rto)
+        self.send_pending()
+
+    def _first_unacked(self):
+        for seq in range(self.cum, self.flow.n_packets):
+            if not self.acked[seq]:
+                return seq
+        return None
+
+    # ------------------------------------------------------------------
+    # RTT estimation (Jacobson/Karels)
+    # ------------------------------------------------------------------
+    def _rtt_sample(self, rtt):
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self.rto = min(max(self.srtt + 4.0 * self.rttvar,
+                           self.config.min_rto), self.config.max_rto)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def abort(self):
+        """Stop sending immediately (fig. 4's "a sender stops").
+
+        Completion callbacks still fire, so a Flowtune sender emits its
+        flowlet-end notification.
+        """
+        self._complete()
+
+    def _complete(self):
+        if self.done:
+            return
+        self.done = True
+        self.timer.cancel()
+        # Free the per-flow agent slots (long churny runs).
+        self.network.hosts[self.flow.src].senders.pop(self.flow.flow_id, None)
+        self.network.hosts[self.flow.dst].receivers.pop(self.flow.flow_id,
+                                                        None)
+        for callback in self.completion_callbacks:
+            callback(self)
+
+    @property
+    def mss(self):
+        return MSS_BYTES

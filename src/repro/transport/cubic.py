@@ -1,0 +1,59 @@
+"""CUBIC (Ha, Rhee, Xu 2008) — the sender under sfqCoDel in §6.5.
+
+Window growth is a cubic of the time since the last loss,
+
+    W(t) = C (t - K)^3 + W_max,       K = cbrt(W_max (1 - beta) / C),
+
+so it plateaus near the previous loss point (``W_max``) and probes
+beyond it aggressively afterward.  The paper pairs "Cubic over
+sfqCoDel"; CoDel's dequeue drops are what CUBIC reacts to.
+"""
+
+from __future__ import annotations
+
+from .base import SenderBase
+
+__all__ = ["CubicSender"]
+
+
+class CubicSender(SenderBase):
+    name = "cubic"
+
+    def __init__(self, network, flow):
+        super().__init__(network, flow)
+        self._w_max = self.cwnd
+        self._epoch_start = None
+        self._k = 0.0
+
+    def _cubic_window(self, elapsed):
+        c = self.config.cubic_c
+        return c * (elapsed - self._k) ** 3 + self._w_max
+
+    def on_new_ack(self, ack):
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+            return
+        if self._epoch_start is None:
+            self._epoch_start = self.sim.now
+            self._w_max = max(self._w_max, self.cwnd)
+            c = self.config.cubic_c
+            self._k = ((self._w_max * (1.0 - self.config.cubic_beta) / c)
+                       ** (1.0 / 3.0))
+        target = self._cubic_window(self.sim.now - self._epoch_start)
+        if target > self.cwnd:
+            # Approach the cubic target within one RTT.
+            self.cwnd += min((target - self.cwnd) / max(self.cwnd, 1.0), 1.0)
+        else:
+            self.cwnd += 0.01 / max(self.cwnd, 1.0)  # slow probe
+
+    def on_loss(self):
+        self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * self.config.cubic_beta, 1.0)
+        self.ssthresh = self.cwnd
+        self._epoch_start = None
+
+    def on_timeout(self):
+        self._w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.config.cubic_beta, 2.0)
+        self.cwnd = 1.0
+        self._epoch_start = None

@@ -1,0 +1,52 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010).
+
+Switches mark CE when instantaneous occupancy exceeds K
+(:class:`~repro.sim.queues.EcnQueue`); the receiver echoes the mark of
+*each* data packet (our per-packet selective ACKs give the accurate
+echo DCTCP requires); the sender maintains the EWMA marked fraction
+
+    alpha <- (1 - g) alpha + g F,
+
+over windows of one RTT and, in any window containing marks, cuts
+
+    cwnd <- cwnd (1 - alpha / 2)
+
+once.  Loss handling falls back to NewReno.
+"""
+
+from __future__ import annotations
+
+from .tcp import TcpSender
+
+__all__ = ["DctcpSender"]
+
+
+class DctcpSender(TcpSender):
+    name = "dctcp"
+
+    def __init__(self, network, flow):
+        super().__init__(network, flow)
+        self.alpha = 1.0  # start conservative, as the DCTCP paper does
+        self._round_end = 0
+        self._round_acks = 0
+        self._round_marked = 0
+
+    def on_new_ack(self, ack):
+        self._round_acks += 1
+        if ack.ece:
+            self._round_marked += 1
+        if self.cum >= self._round_end:
+            self._end_round()
+        # Growth: same as Reno (DCTCP only changes the decrease law).
+        super().on_new_ack(ack)
+
+    def _end_round(self):
+        if self._round_acks:
+            fraction = self._round_marked / self._round_acks
+            g = self.config.dctcp_g
+            self.alpha = (1.0 - g) * self.alpha + g * fraction
+            if self._round_marked:
+                self.cwnd = max(1.0, self.cwnd * (1.0 - self.alpha / 2.0))
+        self._round_acks = 0
+        self._round_marked = 0
+        self._round_end = self.next_new

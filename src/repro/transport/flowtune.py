@@ -1,0 +1,111 @@
+"""Flowtune endpoints: TCP until the first allocation, then pacing.
+
+§6.2: "When opening a new connection, servers start a regular TCP
+connection, and in parallel send a notification to the allocator.
+Whenever a server receives a rate update for a flow from the
+allocator, it opens the flow's TCP window and paces packets on that
+flow according to the allocated rate."
+
+So the sender boots as NewReno and, on the first rate update, switches
+to rate pacing (window effectively open; reliability machinery stays
+armed, though drops are rare because F-NORM keeps links under
+capacity).  If ``rate_expiry`` is configured, an endpoint whose rate
+has gone stale falls back to TCP — the paper's allocator-failure story
+(§2): "if the allocator fails, the rates expire and endpoint
+congestion control (e.g., TCP) takes over, using the previously
+allocated rates as a starting point".
+"""
+
+from __future__ import annotations
+
+from .tcp import TcpSender
+
+__all__ = ["FlowtuneSender"]
+
+#: Floor on the paced rate so pacing intervals stay finite.
+MIN_PACED_GBPS = 1e-3
+#: Ceiling on one pacing gap (guards pathological tiny rates).
+MAX_PACING_GAP = 5e-3
+
+
+class FlowtuneSender(TcpSender):
+    name = "flowtune"
+
+    def __init__(self, network, flow):
+        super().__init__(network, flow)
+        self.mode = "window"          # "window" (TCP) or "paced"
+        self.cwnd = float(network.config.flowtune_initial_cwnd)
+        self.rate_bps = 0.0
+        self.last_rate_update = None
+        self._pacing_armed = False
+        self._expiry_check_armed = False
+
+    # ------------------------------------------------------------------
+    # allocator interface
+    # ------------------------------------------------------------------
+    def set_rate(self, rate_gbps):
+        """Apply a rate update from the allocator."""
+        if self.done:
+            return
+        self.rate_bps = max(rate_gbps, MIN_PACED_GBPS) * 1e9
+        self.last_rate_update = self.sim.now
+        if self.mode != "paced":
+            self.mode = "paced"
+            expiry = self.config.rate_expiry
+            if expiry > 0 and not self._expiry_check_armed:
+                self._expiry_check_armed = True
+                self.sim.after(expiry, self._check_expiry)
+        if not self._pacing_armed:
+            self.send_pending()
+
+    def _check_expiry(self):
+        self._expiry_check_armed = False
+        if self.done or self.mode != "paced":
+            return
+        expiry = self.config.rate_expiry
+        age = self.sim.now - self.last_rate_update
+        if age >= expiry:
+            # Allocator is silent: fall back to TCP, seeded with the
+            # window equivalent of the last allocated rate (§2).
+            rtt = self.srtt if self.srtt is not None else 30e-6
+            self.mode = "window"
+            self.cwnd = max(2.0, self.rate_bps * rtt / (8.0 * self.mss))
+            self.ssthresh = self.cwnd
+            self.send_pending()
+        else:
+            self._expiry_check_armed = True
+            self.sim.after(expiry - age, self._check_expiry)
+
+    # ------------------------------------------------------------------
+    # pacing
+    # ------------------------------------------------------------------
+    def send_pending(self):
+        # Flowlets ride existing connections (§1: long-lived flows
+        # generate multiple flowlets), so data flows immediately in the
+        # TCP window while the notification races to the allocator.
+        if self.mode == "paced":
+            if self._has_pending() and not self._pacing_armed:
+                self._arm_pacing(0.0)
+        else:
+            super().send_pending()
+
+    def _arm_pacing(self, delay):
+        self._pacing_armed = True
+        self.sim.after(delay, self._pace_tick)
+
+    def _pace_tick(self):
+        self._pacing_armed = False
+        if self.done or self.mode != "paced":
+            return
+        seq, retransmit = self._pop_next_seq()
+        if seq is None:
+            return  # on_ack re-arms when retransmissions appear
+        self.send_segment(seq, retransmit)
+        gap = min(self.flow.segment_bytes(seq) * 8.0 / self.rate_bps,
+                  MAX_PACING_GAP)
+        self._arm_pacing(gap)
+
+    def window(self):
+        if self.mode == "paced":
+            return float("inf")  # pacing, not the window, limits sending
+        return self.cwnd

@@ -1,0 +1,54 @@
+"""pFabric (Alizadeh et al., SIGCOMM 2013) — priority is everything.
+
+Rate control is "minimal": senders blast at (bounded) line rate and
+rely on the fabric's priority-drop/priority-dequeue queues
+(:class:`~repro.sim.queues.PFabricQueue`) to resolve contention in
+shortest-remaining-first order.  Packets carry the flow's *remaining*
+size as priority, so a flow's urgency rises as it drains.  Losses are
+expected and recovered by a small fixed RTO (~3 RTTs); after several
+consecutive timeouts the sender enters probe mode (single packet per
+RTO) so starved flows don't waste fabric capacity — exactly the
+behaviour that makes pFabric "not share fairly" in fig. 4 while
+winning short-flow FCT in fig. 8.
+"""
+
+from __future__ import annotations
+
+from .base import SenderBase
+
+__all__ = ["PFabricSender"]
+
+
+class PFabricSender(SenderBase):
+    name = "pfabric"
+    timeout_resend_all = False  # probe with the first hole only
+
+    def __init__(self, network, flow):
+        super().__init__(network, flow)
+        self.cwnd = float(self.config.pfabric_cwnd_packets)
+        # Fixed aggressive RTO; pFabric does not estimate conservatively.
+        self.rto = self.config.pfabric_rto
+
+    def window(self):
+        if self.consecutive_timeouts >= self.config.pfabric_probe_after:
+            return 1.0  # probe mode
+        return self.cwnd
+
+    def _priority(self):
+        # Remaining packets at send time; smaller = served first.
+        return float(self.flow.n_packets - self.n_acked)
+
+    def on_new_ack(self, ack):
+        # No window growth: the fabric schedules, not the endpoints.
+        pass
+
+    def on_loss(self):
+        pass  # no multiplicative decrease
+
+    def on_timeout(self):
+        pass  # keep the window; probe mode handles persistent loss
+
+    def _rtt_sample(self, rtt):
+        # Keep the fixed RTO (pFabric uses a constant, small timeout).
+        self.srtt = rtt if self.srtt is None else self.srtt
+        self.rto = self.config.pfabric_rto

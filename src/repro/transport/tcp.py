@@ -1,0 +1,33 @@
+"""TCP NewReno — the vanilla window law.
+
+Serves three roles: the generic substrate other schemes extend
+(DCTCP), the transport of Flowtune's fallback mode, and a sanity
+baseline in tests.  Slow start doubles per RTT (one packet per ACK up
+to ``ssthresh``), congestion avoidance adds one packet per RTT
+(``1/cwnd`` per ACK), fast retransmit halves, RTO collapses to one
+packet.
+"""
+
+from __future__ import annotations
+
+from .base import SenderBase
+
+__all__ = ["TcpSender"]
+
+
+class TcpSender(SenderBase):
+    name = "tcp"
+
+    def on_new_ack(self, ack):
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += 1.0 / self.cwnd
+
+    def on_loss(self):
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self):
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0

@@ -1,0 +1,45 @@
+"""Shared fixtures: small networks and flow populations."""
+
+import numpy as np
+import pytest
+
+from repro.core import FlowTable, LinkSet
+from repro.topology import TwoTierClos
+
+
+@pytest.fixture
+def single_link():
+    """One 10 Gbit/s link."""
+    return LinkSet([10.0])
+
+
+@pytest.fixture
+def tandem_links():
+    """Two links in series, 10 and 4 Gbit/s."""
+    return LinkSet([10.0, 4.0])
+
+
+@pytest.fixture
+def small_clos():
+    """24 hosts: 3 racks x 8, 2 spines (fast for packet tests)."""
+    return TwoTierClos(n_racks=3, hosts_per_rack=8, n_spines=2)
+
+
+@pytest.fixture
+def tiny_clos():
+    """8 hosts: 2 racks x 4, 2 spines (fastest packet substrate)."""
+    return TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
+
+
+def populate_random_flows(table: FlowTable, topology, n_flows, seed=0):
+    """Add ``n_flows`` uniform-random flows; returns the flow ids."""
+    rng = np.random.default_rng(seed)
+    ids = []
+    for i in range(n_flows):
+        src = int(rng.integers(topology.n_hosts))
+        dst = int(rng.integers(topology.n_hosts - 1))
+        if dst >= src:
+            dst += 1
+        table.add_flow(i, topology.route(src, dst, i))
+        ids.append(i)
+    return ids

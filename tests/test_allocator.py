@@ -1,0 +1,126 @@
+"""FlowtuneAllocator: notification thresholds, headroom, churn."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FlowtuneAllocator, GradientOptimizer, LinkSet,
+                        NullNormalizer, UNormalizer)
+
+
+def make_allocator(**kwargs):
+    return FlowtuneAllocator(LinkSet([10.0, 10.0]), **kwargs)
+
+
+class TestLifecycle:
+    def test_new_flow_always_notified(self):
+        allocator = make_allocator()
+        allocator.flowlet_start("a", [0])
+        result = allocator.iterate(5)
+        assert any(u.flow_id == "a" for u in result.updates)
+
+    def test_flowlet_end_removes_state(self):
+        allocator = make_allocator()
+        allocator.flowlet_start("a", [0])
+        allocator.iterate(2)
+        allocator.flowlet_end("a")
+        assert "a" not in allocator
+        assert allocator.current_rates() == {}
+
+    def test_duplicate_start_raises(self):
+        allocator = make_allocator()
+        allocator.flowlet_start("a", [0])
+        with pytest.raises(KeyError):
+            allocator.flowlet_start("a", [1])
+
+    def test_result_vector_aligned_with_ids(self):
+        allocator = make_allocator()
+        allocator.flowlet_start("a", [0])
+        allocator.flowlet_start("b", [1])
+        result = allocator.iterate(3)
+        for flow_id, rate in zip(result.flow_ids, result.rate_vector):
+            assert result.rates[flow_id] == float(rate)
+
+
+class TestThreshold:
+    def test_headroom_reduces_effective_capacity(self):
+        allocator = make_allocator(update_threshold=0.05)
+        assert np.allclose(allocator.table.links.capacity, 9.5)
+
+    def test_steady_state_sends_no_updates(self):
+        allocator = make_allocator(update_threshold=0.01)
+        allocator.flowlet_start("a", [0])
+        allocator.flowlet_start("b", [0])
+        allocator.iterate(100)
+        result = allocator.iterate(1)
+        assert result.updates == []
+
+    def test_churn_triggers_updates_for_affected_flows(self):
+        allocator = make_allocator(update_threshold=0.01)
+        allocator.flowlet_start("a", [0])
+        allocator.flowlet_start("b", [0])
+        allocator.iterate(100)
+        allocator.flowlet_start("c", [0])
+        result = allocator.iterate(20)
+        notified = {u.flow_id for u in result.updates}
+        assert "c" in notified          # the new flow
+        assert {"a", "b"} & notified    # rates moved by ~1/3
+
+    def test_higher_threshold_sends_fewer_updates(self):
+        def count_updates(threshold):
+            allocator = make_allocator(update_threshold=threshold)
+            total = 0
+            for i in range(12):
+                allocator.flowlet_start(i, [0])
+                total += len(allocator.iterate(3).updates)
+            return total
+
+        assert count_updates(0.2) <= count_updates(0.01)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make_allocator(update_threshold=1.0)
+
+    def test_zero_threshold_notifies_every_change(self):
+        allocator = make_allocator(update_threshold=0.0)
+        allocator.flowlet_start("a", [0])
+        allocator.iterate(1)
+        allocator.flowlet_start("b", [0])
+        result = allocator.iterate(1)
+        assert {u.flow_id for u in result.updates} == {"a", "b"}
+
+
+class TestConfigurability:
+    def test_custom_optimizer(self):
+        allocator = make_allocator(optimizer_cls=GradientOptimizer,
+                                   optimizer_kwargs={"gamma": 0.01})
+        allocator.flowlet_start("a", [0])
+        rates = [allocator.iterate(200).rates["a"] for _ in range(3)]
+        assert rates[-1] == pytest.approx(9.9, rel=0.05)
+
+    def test_custom_normalizer(self):
+        allocator = make_allocator(normalizer=NullNormalizer())
+        assert allocator.normalizer.name == "none"
+
+    def test_u_norm_keeps_relative_rates(self):
+        allocator = FlowtuneAllocator(LinkSet([10.0]),
+                                      normalizer=UNormalizer(),
+                                      update_threshold=0.0)
+        allocator.flowlet_start("light", [0], weight=1.0)
+        allocator.flowlet_start("heavy", [0], weight=3.0)
+        result = allocator.iterate(200)
+        assert result.rates["heavy"] == pytest.approx(
+            3 * result.rates["light"], rel=1e-3)
+
+    def test_raw_rates_exposed(self):
+        allocator = make_allocator()
+        allocator.flowlet_start("a", [0])
+        allocator.iterate(10)
+        assert "a" in allocator.raw_rates()
+
+    def test_feasible_after_normalization(self):
+        allocator = make_allocator(update_threshold=0.01)
+        for i in range(9):
+            allocator.flowlet_start(i, [i % 2])
+        result = allocator.iterate(5)
+        load = allocator.table.link_totals(np.asarray(result.rate_vector))
+        assert np.all(load <= allocator.full_links.capacity + 1e-9)

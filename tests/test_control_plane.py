@@ -1,0 +1,110 @@
+"""Flowtune's in-network control plane: notifications, rates, failover."""
+
+import pytest
+
+from repro.sim import MSS_BYTES
+from repro.sim.experiments import build_network
+
+
+class TestNotifications:
+    def test_allocator_learns_of_flowlet_start_and_end(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        allocator_node = network.allocator_device
+        # Large enough that it is still running when we check.
+        flow = network.make_flow("f", 0, tiny_clos.n_hosts - 1,
+                                 2000 * MSS_BYTES)
+        network.start_flow(flow)
+        network.run_until(150e-6)
+        assert "f" in allocator_node.allocator
+        network.sim.run()
+        network.run_until(network.sim.now + 500e-6)  # let the END land
+        assert "f" not in allocator_node.allocator
+
+    def test_rate_update_reaches_sender(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        flow = network.make_flow("f", 0, tiny_clos.n_hosts - 1,
+                                 2000 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        network.run_until(200e-6)
+        assert sender.mode == "paced"
+        assert sender.rate_bps > 0
+
+    def test_notifications_survive_control_packet_loss(self, tiny_clos):
+        """Even with droppy queues the ARQ delivers the start."""
+        network = build_network("flowtune", topology=tiny_clos,
+                                queue_capacity_packets=6)
+        # Background data congestion on the control path.
+        for i in range(4):
+            network.start_flow(network.make_flow(
+                f"bg{i}", i % 4, 4 + i % 4, 200 * MSS_BYTES))
+        flow = network.make_flow("f", 0, tiny_clos.n_hosts - 1,
+                                 50 * MSS_BYTES)
+        network.start_flow(flow)
+        network.run_until(3e-3)
+        assert "f" in network.allocator_device.allocator or \
+            flow.finish_time is not None
+
+    def test_control_bytes_accounted(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        network.start_flow(network.make_flow("f", 0, 5, 20 * MSS_BYTES))
+        network.sim.run()
+        assert network.stats.control_bytes_to_allocator > 0
+        assert network.stats.control_bytes_from_allocator > 0
+
+
+class TestAllocation:
+    def test_two_flows_share_fairly(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        flows = [network.make_flow(i, 1 + i, 0, 4000 * MSS_BYTES)
+                 for i in range(2)]
+        senders = [network.start_flow(f) for f in flows]
+        network.run_until(1.5e-3)
+        rates = [s.rate_bps / 1e9 for s in senders]
+        # The shared downlink is 10 G with 1% headroom: ~4.95 each.
+        assert rates[0] == pytest.approx(rates[1], rel=0.05)
+        assert sum(rates) == pytest.approx(9.9, rel=0.1)
+
+    def test_near_zero_drops(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        for i in range(6):
+            network.start_flow(network.make_flow(
+                i, i % 4, 4 + (i + 1) % 4, 100 * MSS_BYTES))
+        network.run_until(4e-3)
+        total_tx = sum(link.tx_bytes for link in network.links)
+        assert network.total_dropped_bytes() <= 0.001 * total_tx
+
+    def test_rates_respect_capacity(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        senders = [network.start_flow(network.make_flow(
+            i, 1 + (i % 3), 0, 2000 * MSS_BYTES)) for i in range(3)]
+        network.run_until(1.5e-3)
+        total = sum(s.rate_bps for s in senders if s.mode == "paced")
+        assert total <= 10e9 * 1.02
+
+
+class TestFailover:
+    def test_rate_expiry_falls_back_to_tcp(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos,
+                                rate_expiry=300e-6)
+        flow = network.make_flow("f", 0, tiny_clos.n_hosts - 1,
+                                 5000 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        network.run_until(200e-6)
+        assert sender.mode == "paced"
+        # Kill the allocator: no more ticks process notifications.
+        network.allocator_device._tick = lambda: None
+        network.run_until(network.sim.now + 2e-3)
+        assert sender.mode == "window"
+        # The fallback window is seeded from the last allocated rate.
+        assert sender.cwnd >= 2.0
+
+    def test_flow_completes_after_allocator_failure(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos,
+                                rate_expiry=300e-6)
+        flow = network.make_flow("f", 0, tiny_clos.n_hosts - 1,
+                                 500 * MSS_BYTES)
+        network.start_flow(flow)
+        network.run_until(150e-6)
+        network.allocator_device._tick = lambda: None
+        network.run_until(network.sim.now + 20e-3)
+        assert flow.finish_time is not None

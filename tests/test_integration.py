@@ -1,0 +1,110 @@
+"""Cross-module integration: full experiment pipelines at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (flow_rates, normalized_fcts, p99_by_bin,
+                            relative_fairness, speedup_by_bin)
+from repro.sim.experiments import (convergence_experiment, fct_experiment)
+
+ALL_SCHEMES = ("tcp", "dctcp", "pfabric", "sfqcodel", "xcp", "flowtune")
+
+
+@pytest.mark.slow
+class TestFctPipeline:
+    @pytest.fixture(scope="class")
+    def runs(self, request):
+        results = {}
+        for scheme in ("flowtune", "dctcp", "pfabric"):
+            net, stats, duration = fct_experiment(
+                scheme, workload="web", load=0.5, duration=2.5e-3,
+                drain=5e-3, seed=11)
+            results[scheme] = (net, stats, duration)
+        return results
+
+    def test_all_flows_complete(self, runs):
+        for scheme, (net, stats, _) in runs.items():
+            assert stats.completion_fraction() > 0.97, scheme
+
+    def test_same_seed_same_flow_population(self, runs):
+        ids = [set(stats.flows) for _, stats, _ in runs.values()]
+        assert ids[0] == ids[1] == ids[2]
+
+    def test_flowtune_beats_dctcp_on_short_flows(self, runs):
+        net_ft, stats_ft, _ = runs["flowtune"]
+        net_d, stats_d, _ = runs["dctcp"]
+        speedups = speedup_by_bin(
+            normalized_fcts(stats_d, net_d.topology),
+            normalized_fcts(stats_ft, net_ft.topology))
+        assert speedups.get("1 packet", 99.0) > 1.5
+
+    def test_flowtune_and_pfabric_low_queueing(self, runs):
+        _, stats_ft, _ = runs["flowtune"]
+        _, stats_d, _ = runs["dctcp"]
+        assert stats_ft.p99_queue_delay(4) < stats_d.p99_queue_delay(4)
+
+    def test_flowtune_near_zero_drops(self, runs):
+        net_ft, stats_ft, duration = runs["flowtune"]
+        assert stats_ft.drop_gbps(net_ft.links, duration) < 0.5
+
+    def test_fairness_relative_to_flowtune(self, runs):
+        _, stats_ft, _ = runs["flowtune"]
+        _, stats_d, _ = runs["dctcp"]
+        _, stats_p, _ = runs["pfabric"]
+        dctcp_gap = relative_fairness(flow_rates(stats_d),
+                                      flow_rates(stats_ft))
+        pfabric_gap = relative_fairness(flow_rates(stats_p),
+                                        flow_rates(stats_ft))
+        assert dctcp_gap < 0.0      # DCTCP clearly less fair
+        assert pfabric_gap < 1.0    # pFabric never wildly fairer
+
+
+@pytest.mark.slow
+class TestConvergencePipeline:
+    def test_flowtune_reaches_fair_shares(self, tiny_clos):
+        network, flow_ids = convergence_experiment(
+            "flowtune", n_senders=3, join_interval=3e-3,
+            topology=tiny_clos, flow_gbits=0.5)
+        t_end = network.sim.now
+        # During the 3-flow phase (t in [6, 9) ms) each gets ~1/3.
+        sample_at = 8.0e-3
+        for flow_id in flow_ids:
+            times, gbps = network.stats.throughput_series(flow_id, t_end)
+            idx = int(sample_at / 100e-6)
+            assert gbps[idx] == pytest.approx(9.9 / 3, rel=0.25), flow_id
+
+    def test_pfabric_starves_laggards(self, tiny_clos):
+        network, flow_ids = convergence_experiment(
+            "pfabric", n_senders=3, join_interval=3e-3,
+            topology=tiny_clos, flow_gbits=0.5)
+        t_end = network.sim.now
+        idx = int(8.0e-3 / 100e-6)
+        rates = sorted(network.stats.throughput_series(f, t_end)[1][idx]
+                       for f in flow_ids)
+        assert rates[0] < 0.2 * max(rates[-1], 1e-9)
+
+
+@pytest.mark.slow
+class TestFluidVsPacketConsistency:
+    def test_allocator_rates_agree_across_substrates(self, tiny_clos):
+        """The same allocator logic runs in fluid and packet models;
+        for a static flow set both must settle on the same rates."""
+        from repro.core import FlowtuneAllocator
+        from repro.sim.experiments import build_network
+        from repro.sim import MSS_BYTES
+
+        allocator = FlowtuneAllocator(tiny_clos.link_set(), gamma=0.4)
+        pairs = [(1, 0), (2, 0), (3, 0)]
+        for i, (src, dst) in enumerate(pairs):
+            allocator.flowlet_start(i, tiny_clos.route(src, dst, i))
+        fluid_result = allocator.iterate(300)
+
+        network = build_network("flowtune", topology=tiny_clos)
+        senders = [network.start_flow(network.make_flow(
+            i, src, dst, 4000 * MSS_BYTES))
+            for i, (src, dst) in enumerate(pairs)]
+        network.run_until(2e-3)
+        for i, sender in enumerate(senders):
+            packet_rate = sender.rate_bps / 1e9
+            assert packet_rate == pytest.approx(fluid_result.rates[i],
+                                                rel=0.1)

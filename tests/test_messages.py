@@ -1,0 +1,43 @@
+"""Control-message encodings and §7's wire-overhead arithmetic."""
+
+import pytest
+
+from repro.control import (FLOWLET_END_BYTES, FLOWLET_START_BYTES,
+                           RATE_UPDATE_BYTES, batched_wire_bytes,
+                           control_frame_bytes, wire_bytes)
+
+
+class TestEncodings:
+    def test_paper_payload_sizes(self):
+        # §6.2: start, end, rate updates are 16, 4 and 6 bytes.
+        assert FLOWLET_START_BYTES == 16
+        assert FLOWLET_END_BYTES == 4
+        assert RATE_UPDATE_BYTES == 6
+
+
+class TestWireBytes:
+    def test_minimum_frame_cost(self):
+        # §7: "Ethernet has 64-byte minimum frames and preamble and
+        # interframe gaps, which cost 84 bytes, even if only one byte
+        # is sent."
+        assert wire_bytes(1) == 84
+
+    def test_rate_update_overhead_factor(self):
+        # §7: "When sending an 8-byte rate update there is a 10x
+        # overhead" — 84 bytes of wire for 8 bytes of payload.
+        assert wire_bytes(8) / 8 == pytest.approx(10.5, rel=0.05)
+
+    def test_large_payload_scales_linearly(self):
+        assert wire_bytes(1000) == 1000 + 40 + 18 + 20
+
+    def test_batching_amortizes_overhead(self):
+        single = 10 * wire_bytes(RATE_UPDATE_BYTES)
+        batched = batched_wire_bytes([RATE_UPDATE_BYTES] * 10)
+        assert batched < single
+
+    def test_empty_batch_is_free(self):
+        assert batched_wire_bytes([]) == 0
+
+    def test_control_frame_floor(self):
+        assert control_frame_bytes(1) == 64
+        assert control_frame_bytes(100) == 158

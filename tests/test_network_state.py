@@ -1,0 +1,156 @@
+"""FlowTable: churn bookkeeping and the vectorized NUM kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FlowTable, LinkSet
+
+
+def make_table(n_links=6, max_route_len=4):
+    return FlowTable(LinkSet(np.full(n_links, 10.0)),
+                     max_route_len=max_route_len)
+
+
+class TestChurn:
+    def test_add_assigns_dense_indices(self):
+        table = make_table()
+        assert table.add_flow("a", [0, 1]) == 0
+        assert table.add_flow("b", [2]) == 1
+        assert table.n_flows == 2
+
+    def test_duplicate_id_rejected(self):
+        table = make_table()
+        table.add_flow("a", [0])
+        with pytest.raises(KeyError):
+            table.add_flow("a", [1])
+
+    def test_empty_route_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_flow("a", [])
+
+    def test_unknown_link_rejected(self):
+        table = make_table(n_links=3)
+        with pytest.raises(ValueError):
+            table.add_flow("a", [7])
+
+    def test_route_longer_than_max_rejected(self):
+        table = make_table(max_route_len=2)
+        with pytest.raises(ValueError):
+            table.add_flow("a", [0, 1, 2])
+
+    def test_nonpositive_weight_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_flow("a", [0], weight=0.0)
+
+    def test_swap_remove_keeps_remaining_flows_intact(self):
+        table = make_table()
+        table.add_flow("a", [0, 1])
+        table.add_flow("b", [2, 3])
+        table.add_flow("c", [4])
+        table.remove_flow("a")
+        assert set(table.flow_ids()) == {"b", "c"}
+        assert list(table.route_of("b")) == [2, 3]
+        assert list(table.route_of("c")) == [4]
+
+    def test_remove_unknown_raises(self):
+        table = make_table()
+        with pytest.raises(KeyError):
+            table.remove_flow("ghost")
+
+    def test_version_increments_on_churn(self):
+        table = make_table()
+        v0 = table.version
+        table.add_flow("a", [0])
+        table.remove_flow("a")
+        assert table.version == v0 + 2
+
+    def test_growth_beyond_initial_capacity(self):
+        table = make_table(n_links=4)
+        for i in range(300):
+            table.add_flow(i, [i % 4])
+        assert table.n_flows == 300
+        assert list(table.route_of(250)) == [250 % 4]
+
+    def test_clone_is_independent(self):
+        table = make_table()
+        table.add_flow("a", [0, 1], weight=2.0)
+        copy = table.clone()
+        table.remove_flow("a")
+        assert "a" in copy
+        assert list(copy.route_of("a")) == [0, 1]
+        assert copy.weights[copy.index_of("a")] == 2.0
+
+
+class TestKernels:
+    def test_price_sums_sum_along_routes(self):
+        table = make_table()
+        table.add_flow("a", [0, 2])
+        table.add_flow("b", [2])
+        prices = np.array([1.0, 10.0, 5.0, 0.0, 0.0, 0.0])
+        assert np.allclose(table.price_sums(prices), [6.0, 5.0])
+
+    def test_link_totals_scatter(self):
+        table = make_table()
+        table.add_flow("a", [0, 2])
+        table.add_flow("b", [2])
+        totals = table.link_totals(np.array([3.0, 4.0]))
+        assert np.allclose(totals, [3.0, 0.0, 7.0, 0.0, 0.0, 0.0])
+
+    def test_max_link_value_ignores_padding(self):
+        table = make_table()
+        table.add_flow("a", [1])
+        per_link = np.array([9.0, -5.0, 0.0, 0.0, 0.0, 0.0])
+        assert table.max_link_value(per_link)[0] == -5.0
+
+    def test_bottleneck_capacity_is_min_along_route(self):
+        table = FlowTable(LinkSet([10.0, 4.0, 40.0]))
+        table.add_flow("a", [0, 1, 2])
+        table.add_flow("b", [2])
+        assert np.allclose(table.bottleneck_capacity(), [4.0, 40.0])
+
+    def test_empty_table_kernels(self):
+        table = make_table()
+        assert table.link_totals(np.array([])).shape == (6,)
+        assert len(table.price_sums(np.zeros(6))) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_link_totals_matches_bruteforce(self, data):
+        n_links = data.draw(st.integers(2, 8))
+        table = FlowTable(LinkSet(np.full(n_links, 10.0)), max_route_len=4)
+        n_flows = data.draw(st.integers(0, 20))
+        routes = []
+        for i in range(n_flows):
+            length = data.draw(st.integers(1, min(4, n_links)))
+            route = data.draw(st.lists(
+                st.integers(0, n_links - 1), min_size=length,
+                max_size=length, unique=True))
+            table.add_flow(i, route)
+            routes.append(route)
+        values = np.arange(1.0, n_flows + 1.0)
+        expected = np.zeros(n_links)
+        for route, value in zip(routes, values):
+            for link in route:
+                expected[link] += value
+        assert np.allclose(table.link_totals(values), expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), removals=st.integers(0, 10))
+    def test_ids_consistent_under_random_churn(self, seed, removals):
+        rng = np.random.default_rng(seed)
+        table = make_table()
+        alive = set()
+        for i in range(20):
+            table.add_flow(i, [int(rng.integers(6))])
+            alive.add(i)
+        for _ in range(removals):
+            victim = int(rng.choice(sorted(alive)))
+            table.remove_flow(victim)
+            alive.discard(victim)
+        assert set(table.flow_ids()) == alive
+        for flow_id in alive:
+            idx = table.index_of(flow_id)
+            assert table.flow_ids()[idx] == flow_id

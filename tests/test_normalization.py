@@ -1,0 +1,124 @@
+"""U-NORM / F-NORM (§4): feasibility invariants and paper formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (FlowTable, LinkSet, FNormalizer, NullNormalizer,
+                        UNormalizer, f_norm, link_ratios, u_norm)
+
+
+def tandem_table():
+    table = FlowTable(LinkSet([10.0, 5.0]))
+    table.add_flow("both", [0, 1])
+    table.add_flow("first", [0])
+    return table
+
+
+class TestFormulas:
+    def test_link_ratios(self):
+        table = tandem_table()
+        ratios = link_ratios(table, np.array([4.0, 8.0]))
+        assert np.allclose(ratios, [(4 + 8) / 10.0, 4 / 5.0])
+
+    def test_u_norm_divides_by_worst_ratio(self):
+        table = tandem_table()
+        rates = np.array([10.0, 10.0])   # ratios: 2.0 and 2.0
+        assert np.allclose(u_norm(table, rates), [5.0, 5.0])
+
+    def test_u_norm_scales_up_when_under_allocated(self):
+        table = tandem_table()
+        rates = np.array([1.0, 1.0])     # worst ratio 0.2 -> scale by 5x
+        normalized = u_norm(table, rates)
+        assert np.allclose(normalized, [5.0, 5.0])
+
+    def test_u_norm_scale_up_disabled(self):
+        table = tandem_table()
+        rates = np.array([1.0, 1.0])
+        assert np.allclose(u_norm(table, rates, allow_scale_up=False), rates)
+
+    def test_f_norm_per_flow_worst_link(self):
+        table = tandem_table()
+        rates = np.array([10.0, 10.0])
+        # "both" sees ratios (2.0, 2.0) -> /2; "first" sees 2.0 -> /2.
+        assert np.allclose(f_norm(table, rates), [5.0, 5.0])
+
+    def test_f_norm_only_penalizes_congested_paths(self):
+        table = FlowTable(LinkSet([10.0, 10.0]))
+        table.add_flow("hot", [0])
+        table.add_flow("cold", [1])
+        rates = np.array([20.0, 5.0])
+        normalized = f_norm(table, rates, allow_scale_up=False)
+        assert normalized[table.index_of("hot")] == pytest.approx(10.0)
+        assert normalized[table.index_of("cold")] == pytest.approx(5.0)
+
+    def test_empty_rates_pass_through(self):
+        table = FlowTable(LinkSet([10.0]))
+        assert len(f_norm(table, np.array([]))) == 0
+        assert len(u_norm(table, np.array([]))) == 0
+
+    def test_null_normalizer_identity(self):
+        table = tandem_table()
+        rates = np.array([42.0, 1.0])
+        assert np.allclose(NullNormalizer()(table, rates), rates)
+
+
+class TestFeasibilityInvariant:
+    """The §4 guarantee: normalized rates never exceed any capacity."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_f_norm_always_feasible(self, data):
+        n_links = data.draw(st.integers(1, 6))
+        capacities = data.draw(st.lists(
+            st.floats(min_value=1.0, max_value=100.0),
+            min_size=n_links, max_size=n_links))
+        table = FlowTable(LinkSet(capacities), max_route_len=4)
+        n_flows = data.draw(st.integers(1, 15))
+        for i in range(n_flows):
+            length = data.draw(st.integers(1, min(4, n_links)))
+            route = data.draw(st.lists(st.integers(0, n_links - 1),
+                                       min_size=length, max_size=length,
+                                       unique=True))
+            table.add_flow(i, route)
+        rates = np.array(data.draw(st.lists(
+            st.floats(min_value=0.0, max_value=1000.0),
+            min_size=n_flows, max_size=n_flows)))
+        if rates.sum() == 0:
+            return
+        for normalized in (f_norm(table, rates), u_norm(table, rates)):
+            load = table.link_totals(normalized)
+            assert np.all(load <= table.links.capacity * (1 + 1e-9))
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_f_norm_dominates_u_norm_throughput(self, seed):
+        """F-NORM never yields less total throughput than U-NORM.
+
+        Each flow's F-NORM divisor (its own worst ratio) is at most the
+        global worst ratio U-NORM divides everything by.
+        """
+        rng = np.random.default_rng(seed)
+        n_links = int(rng.integers(2, 6))
+        table = FlowTable(LinkSet(rng.uniform(2, 50, n_links)))
+        n_flows = int(rng.integers(2, 12))
+        for i in range(n_flows):
+            length = int(rng.integers(1, min(4, n_links) + 1))
+            table.add_flow(i, rng.choice(n_links, length, replace=False))
+        rates = rng.uniform(0.1, 30.0, n_flows)
+        f_total = f_norm(table, rates).sum()
+        u_total = u_norm(table, rates).sum()
+        assert f_total >= u_total - 1e-9
+
+
+class TestNormalizerObjects:
+    def test_names(self):
+        assert UNormalizer().name == "U-NORM"
+        assert FNormalizer().name == "F-NORM"
+        assert NullNormalizer().name == "none"
+
+    def test_callable_protocol(self):
+        table = tandem_table()
+        rates = np.array([10.0, 10.0])
+        assert np.allclose(FNormalizer()(table, rates),
+                           f_norm(table, rates))

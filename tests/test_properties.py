@@ -1,0 +1,155 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These capture the algebraic identities and safety properties the
+system's correctness rests on, checked over randomized inputs:
+
+* the gather/scatter kernels are adjoint (flow-side and link-side
+  accounting always agree),
+* allocations stay feasible through arbitrary churn + iteration
+  interleavings,
+* queues never exceed capacity and pFabric dequeues in priority order,
+* the allocator's notified rates stay within the threshold contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (FlowTable, FlowtuneAllocator, LinkSet,
+                        NedOptimizer, f_norm)
+from repro.sim import DropTailQueue, Packet, PFabricQueue, SimFlow
+
+
+def random_table(data, n_links=5, max_flows=12):
+    table = FlowTable(LinkSet(np.full(n_links, 10.0)), max_route_len=4)
+    n_flows = data.draw(st.integers(1, max_flows))
+    for i in range(n_flows):
+        length = data.draw(st.integers(1, min(4, n_links)))
+        route = data.draw(st.lists(st.integers(0, n_links - 1),
+                                   min_size=length, max_size=length,
+                                   unique=True))
+        table.add_flow(i, route)
+    return table
+
+
+class TestKernelAdjointness:
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_gather_scatter_duality(self, data):
+        """<x, R^T p> == <R x, p>: per-flow price sums weighted by
+        rates must equal per-link loads weighted by prices."""
+        table = random_table(data)
+        n = table.n_flows
+        rates = np.array(data.draw(st.lists(
+            st.floats(0.0, 100.0), min_size=n, max_size=n)))
+        prices = np.array(data.draw(st.lists(
+            st.floats(0.0, 10.0), min_size=5, max_size=5)))
+        flow_side = float(np.dot(rates, table.price_sums(prices)))
+        link_side = float(np.dot(table.link_totals(rates), prices))
+        assert flow_side == pytest.approx(link_side, rel=1e-9, abs=1e-9)
+
+
+class TestChurnSafety:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), steps=st.integers(1, 25))
+    def test_f_norm_feasible_through_random_interleavings(self, seed,
+                                                          steps):
+        """Arbitrary interleavings of add/remove/iterate never yield an
+        infeasible normalized allocation."""
+        rng = np.random.default_rng(seed)
+        table = FlowTable(LinkSet(rng.uniform(5, 40, 4)), max_route_len=3)
+        optimizer = NedOptimizer(table, gamma=float(rng.uniform(0.2, 1.5)))
+        next_id = 0
+        alive = []
+        for _ in range(steps):
+            action = rng.integers(3)
+            if action == 0 or not alive:
+                length = int(rng.integers(1, 4))
+                table.add_flow(next_id,
+                               rng.choice(4, size=length, replace=False))
+                alive.append(next_id)
+                next_id += 1
+            elif action == 1 and alive:
+                victim = alive.pop(int(rng.integers(len(alive))))
+                table.remove_flow(victim)
+            if table.n_flows:
+                rates = optimizer.iterate(int(rng.integers(1, 5)))
+                normalized = f_norm(table, rates)
+                load = table.link_totals(normalized)
+                assert np.all(load <= table.links.capacity * (1 + 1e-9))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_allocator_threshold_contract(self, seed):
+        """After iterate(), every flow's notified rate is within the
+        threshold of its current rate (or was just notified)."""
+        rng = np.random.default_rng(seed)
+        allocator = FlowtuneAllocator(LinkSet(rng.uniform(5, 20, 3)),
+                                      update_threshold=0.05)
+        for i in range(int(rng.integers(2, 8))):
+            length = int(rng.integers(1, 4))
+            allocator.flowlet_start(i, rng.choice(3, size=length,
+                                                  replace=False))
+        result = allocator.iterate(int(rng.integers(1, 30)))
+        notified = allocator.current_rates()
+        for flow_id, rate in result.rates.items():
+            last = notified[flow_id]
+            assert abs(rate - last) <= 0.05 * max(last, 1e-12) + 1e-12
+
+
+def make_packet(seq, priority, flow_id=1, size=1000):
+    flow = SimFlow(flow_id, 0, 1, 10_000, 0.0)
+    pkt = Packet(flow, seq, size, Packet.DATA, ())
+    pkt.priority = priority
+    return pkt
+
+
+class TestQueueProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(arrivals=st.lists(st.integers(0, 30), min_size=1, max_size=40),
+           capacity=st.integers(1, 10))
+    def test_droptail_never_exceeds_capacity(self, arrivals, capacity):
+        queue = DropTailQueue(capacity_packets=capacity)
+        admitted = 0
+        for i, _ in enumerate(arrivals):
+            if queue.enqueue(make_packet(i, 0.0), 0.0):
+                admitted += 1
+            assert len(queue) <= capacity
+        assert admitted + queue.stats.dropped_packets == len(arrivals)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+    def test_pfabric_dequeues_in_priority_order(self, priorities):
+        queue = PFabricQueue(capacity_packets=64)
+        for i, priority in enumerate(priorities):
+            queue.enqueue(make_packet(i, priority), 0.0)
+        out = []
+        while True:
+            packet = queue.dequeue(0.0)
+            if packet is None:
+                break
+            out.append(packet.priority)
+        assert out == sorted(out)
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrivals=st.lists(st.tuples(st.floats(0.0, 10.0),
+                                       st.integers(0, 3)),
+                             min_size=1, max_size=30),
+           capacity=st.integers(1, 8))
+    def test_pfabric_keeps_best_under_pressure(self, arrivals, capacity):
+        """Whatever is dropped, the packets remaining are never worse
+        than the ones evicted (the pFabric guarantee)."""
+        queue = PFabricQueue(capacity_packets=capacity)
+        dropped, kept_input = [], []
+        for i, (priority, _) in enumerate(arrivals):
+            before = queue.stats.dropped_packets
+            queue.enqueue(make_packet(i, priority), 0.0)
+        remaining = []
+        while True:
+            packet = queue.dequeue(0.0)
+            if packet is None:
+                break
+            remaining.append(packet.priority)
+        all_priorities = sorted(p for p, _ in arrivals)
+        # The survivors are exactly the |remaining| best arrivals.
+        assert remaining == all_priorities[:len(remaining)]

@@ -1,0 +1,63 @@
+"""NED-RT / Gradient-RT: float32 + approximate-reciprocal variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (FlowTable, GradientRtOptimizer, LinkSet,
+                        NedOptimizer, NedRtOptimizer, fast_reciprocal)
+
+
+def table_with(n, capacity=10.0):
+    table = FlowTable(LinkSet([capacity]))
+    for i in range(n):
+        table.add_flow(i, [0])
+    return table
+
+
+class TestFastReciprocal:
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_relative_error_below_float32_budget(self, x):
+        approx = float(fast_reciprocal(np.float32(x)))
+        assert approx == pytest.approx(1.0 / x, rel=5e-3)
+
+    def test_is_not_exact(self):
+        # The point of the RT variants: approximations perturb results.
+        exact = 1.0 / 3.0
+        approx = float(fast_reciprocal(np.float32(3.0)))
+        assert approx != pytest.approx(exact, rel=1e-9)
+
+    def test_vectorized(self):
+        x = np.array([1.0, 2.0, 4.0], dtype=np.float32)
+        assert fast_reciprocal(x).shape == (3,)
+
+
+class TestRtOptimizers:
+    def test_ned_rt_converges_near_reference(self):
+        reference = NedOptimizer(table_with(4)).iterate(300)
+        rt = NedRtOptimizer(table_with(4)).iterate(300)
+        assert np.allclose(rt, reference, rtol=2e-2)
+
+    def test_ned_rt_uses_float32_prices(self):
+        opt = NedRtOptimizer(table_with(2))
+        opt.iterate(5)
+        assert opt.prices.dtype == np.float32
+
+    def test_gradient_rt_converges(self):
+        opt = GradientRtOptimizer(table_with(4), gamma=0.01)
+        rates = opt.iterate(5000)
+        assert np.allclose(rates, 2.5, rtol=0.05)
+
+    def test_rt_trajectory_differs_from_reference(self):
+        # Fig. 12 plots NED and NED-RT as separate curves: the numeric
+        # approximations must actually change the trajectory.
+        reference = NedOptimizer(table_with(7)).iterate(3)
+        rt = NedRtOptimizer(table_with(7)).iterate(3)
+        assert not np.array_equal(np.asarray(rt, dtype=np.float64),
+                                  np.asarray(reference))
+
+    def test_rt_rates_respect_caps(self):
+        table = table_with(1)
+        opt = NedRtOptimizer(table)
+        opt.prices[:] = np.float32(0.0)
+        assert float(opt.rate_update()[0]) <= 10.0 * (1 + 1e-3)

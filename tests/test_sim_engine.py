@@ -1,0 +1,91 @@
+"""Event engine: ordering, determinism, timers."""
+
+import pytest
+
+from repro.sim import Simulator, Timer
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(2.0, log.append, "b")
+        sim.at(1.0, log.append, "a")
+        sim.at(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.at(1.0, log.append, tag)
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.at(5.0, lambda: sim.after(2.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(0.5, lambda: None)
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, log.append, 1)
+        sim.at(2.0, log.append, 2)
+        sim.run_until(1.5)
+        assert log == [1]
+        assert sim.pending == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.at(float(t), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        sim.run()
+        assert fired == [1.0]
+        assert not timer.armed
+
+    def test_cancel_suppresses(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.restart(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        timer.restart(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_expires_at_tracking(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.restart(2.0)
+        assert timer.expires_at == 2.0
+        timer.cancel()
+        assert timer.expires_at is None

@@ -1,0 +1,109 @@
+"""The packet-experiment harness and run-level statistics plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.sim import MSS_BYTES, RunStats, SimFlow
+from repro.sim.experiments import (build_network, convergence_experiment,
+                                   fct_experiment, run_arrivals)
+from repro.workloads import PoissonFlowletGenerator, web_workload
+
+
+class TestRunArrivals:
+    def test_schedules_and_completes(self, tiny_clos):
+        network = build_network("tcp", topology=tiny_clos)
+        generator = PoissonFlowletGenerator(web_workload(),
+                                            tiny_clos.n_hosts, 0.3, seed=9)
+        arrivals = generator.arrivals_until(1e-3)
+        stats = run_arrivals(network, arrivals, 1e-3, drain=5e-3)
+        assert len(stats.flows) == len(arrivals)
+        assert stats.completion_fraction() > 0.95
+
+    def test_max_events_bounds_work(self, tiny_clos):
+        network = build_network("tcp", topology=tiny_clos)
+        generator = PoissonFlowletGenerator(web_workload(),
+                                            tiny_clos.n_hosts, 0.5, seed=9)
+        run_arrivals(network, generator.arrivals_until(1e-3), 1e-3,
+                     drain=5e-3, max_events=500)
+        assert network.sim.events_processed <= 500
+
+
+class TestFctExperiment:
+    def test_same_seed_same_arrivals_across_schemes(self, tiny_clos):
+        populations = []
+        for scheme in ("tcp", "pfabric"):
+            _, stats, _ = fct_experiment(scheme, load=0.3, duration=1e-3,
+                                         drain=3e-3, seed=5,
+                                         topology=tiny_clos)
+            populations.append({(f.flow_id, f.src, f.dst, f.size_bytes)
+                                for f in stats.flows.values()})
+        assert populations[0] == populations[1]
+
+    def test_duration_returned(self, tiny_clos):
+        _, _, duration = fct_experiment("tcp", load=0.3, duration=1e-3,
+                                        drain=2e-3, seed=5,
+                                        topology=tiny_clos)
+        assert duration == 1e-3
+
+    def test_queue_sampler_populates_sampled_stats(self, tiny_clos):
+        _, stats, _ = fct_experiment("tcp", load=0.5, duration=2e-3,
+                                     drain=3e-3, seed=5,
+                                     topology=tiny_clos)
+        assert stats.sampled_path_delay_by_hops  # some hop class sampled
+        for hops, samples in stats.sampled_path_delay_by_hops.items():
+            assert all(delay >= 0 for delay in samples)
+
+
+class TestConvergenceExperiment:
+    def test_staircase_structure(self, tiny_clos):
+        network, flow_ids = convergence_experiment(
+            "tcp", n_senders=2, join_interval=1e-3,
+            topology=tiny_clos, flow_gbits=0.05)
+        assert len(flow_ids) == 2
+        # Total runtime covers joins + leaves.
+        assert network.sim.now >= 4e-3 - 1e-9
+
+    def test_throughput_series_shape(self, tiny_clos):
+        network, flow_ids = convergence_experiment(
+            "tcp", n_senders=2, join_interval=1e-3,
+            topology=tiny_clos, flow_gbits=0.05)
+        times, gbps = network.stats.throughput_series(flow_ids[0],
+                                                      network.sim.now)
+        assert len(times) == len(gbps)
+        assert np.all(gbps >= 0)
+        assert gbps.max() <= 10.5  # never above line rate
+
+
+class TestRunStats:
+    def test_throughput_series_requires_window(self):
+        stats = RunStats(throughput_window=None)
+        with pytest.raises(ValueError):
+            stats.throughput_series("f", 1.0)
+
+    def test_p99_empty_is_zero(self):
+        stats = RunStats()
+        assert stats.p99_queue_delay(4) == 0.0
+        assert stats.p99_sampled_queue_delay(2) == 0.0
+
+    def test_completion_fraction_empty(self):
+        assert RunStats().completion_fraction() == 1.0
+
+    def test_drop_gbps_zero_duration(self):
+        assert RunStats().drop_gbps([], 0.0) == 0.0
+
+    def test_delivery_accounting(self):
+        stats = RunStats(throughput_window=1e-4)
+        flow = SimFlow("f", 0, 1, 3 * MSS_BYTES, 0.0, route=(1, 2),
+                       reverse_route=(2, 1))
+        stats.register_flow(flow)
+
+        class FakePacket:
+            flow = None
+            size_bytes = 1500.0
+            queue_delay = 5e-6
+        packet = FakePacket()
+        packet.flow = flow
+        stats.record_delivery(packet, now=1.5e-4)
+        assert stats.delivered_bytes == 1500.0
+        times, gbps = stats.throughput_series("f", 3e-4)
+        assert gbps[1] > 0  # landed in the second window

@@ -1,0 +1,106 @@
+"""Packet network plumbing: delays, routing, RTTs, flow startup."""
+
+import pytest
+
+from repro.sim import MSS_BYTES, SimFlow, packets_for
+from repro.sim.experiments import build_network
+
+
+class TestPacketsFor:
+    def test_one_packet_minimum(self):
+        assert packets_for(1) == 1
+        assert packets_for(0) == 1
+
+    def test_mss_boundary(self):
+        assert packets_for(MSS_BYTES) == 1
+        assert packets_for(MSS_BYTES + 1) == 2
+
+    def test_segment_bytes_last_partial(self):
+        flow = SimFlow(1, 0, 1, MSS_BYTES + 100, 0.0)
+        assert flow.n_packets == 2
+        assert flow.segment_bytes(0) == MSS_BYTES + 58
+        assert flow.segment_bytes(1) == 100 + 58
+
+
+class TestNetworkBuild:
+    def test_links_match_topology(self, small_clos):
+        network = build_network("tcp", topology=small_clos)
+        assert len(network.links) == small_clos.n_links
+        # edge links carry folded host delay
+        up = network.links[small_clos.host_up_link(0)]
+        assert up.delay == pytest.approx(1.5e-6 + 2e-6)
+        fabric = network.links[small_clos.fabric_up_link(0, 0)]
+        assert fabric.delay == pytest.approx(1.5e-6)
+
+    def test_scheme_queue_selection(self, tiny_clos):
+        from repro.sim import (DropTailQueue, EcnQueue, PFabricQueue,
+                               SfqCoDelQueue)
+        expected = {"tcp": DropTailQueue, "dctcp": EcnQueue,
+                    "pfabric": PFabricQueue, "sfqcodel": SfqCoDelQueue,
+                    "flowtune": DropTailQueue, "xcp": DropTailQueue}
+        for scheme, queue_cls in expected.items():
+            network = build_network(scheme, topology=tiny_clos)
+            assert type(network.links[0].queue) is queue_cls
+
+    def test_xcp_gets_controllers(self, tiny_clos):
+        network = build_network("xcp", topology=tiny_clos)
+        assert all(link.xcp is not None for link in network.links)
+
+    def test_flowtune_gets_control_plane(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        assert network.allocator_device is not None
+        assert all(h.control_agent is not None for h in network.hosts)
+
+    def test_unknown_scheme_rejected(self, tiny_clos):
+        with pytest.raises(ValueError):
+            build_network("carrier-pigeon", topology=tiny_clos)
+
+
+class TestEndToEndTiming:
+    def test_single_packet_intra_rack_latency(self, tiny_clos):
+        """One data packet takes prop + serialization per §6.2 math."""
+        network = build_network("tcp", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 100)
+        network.start_flow(flow)
+        network.sim.run()
+        assert flow.finish_time is not None
+        # 2 hops: (1.5+2)us x2 prop + 2 serializations of 158B at 10G.
+        serialization = 2 * (100 + 58) * 8 / 10e9
+        expected = 2 * 3.5e-6 + serialization
+        assert flow.finish_time == pytest.approx(expected, rel=0.01)
+
+    def test_measured_rtt_near_paper_values(self, tiny_clos):
+        """The sender's srtt should approximate 14 µs (2-hop path)."""
+        network = build_network("tcp", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 10 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        network.sim.run()
+        assert sender.srtt == pytest.approx(14e-6, rel=0.35)
+
+    def test_cross_rack_slower_than_intra(self, tiny_clos):
+        network = build_network("tcp", topology=tiny_clos)
+        near = network.make_flow("near", 0, 1, 3000)
+        far = network.make_flow("far", 0, tiny_clos.n_hosts - 1, 3000)
+        network.start_flow(near)
+        network.start_flow(far)
+        network.sim.run()
+        assert far.fct > near.fct
+
+    def test_link_serialization_rate(self, tiny_clos):
+        """Back-to-back packets drain at exactly the link rate."""
+        network = build_network("tcp", topology=tiny_clos,
+                                initial_cwnd=64.0)
+        flow = network.make_flow("f", 0, 1, 64 * MSS_BYTES)
+        network.start_flow(flow)
+        network.sim.run()
+        wire = 64 * (MSS_BYTES + 58) * 8
+        lower_bound = wire / 10e9
+        assert flow.fct >= lower_bound
+
+    def test_stats_register_all_flows(self, tiny_clos):
+        network = build_network("tcp", topology=tiny_clos)
+        for i in range(4):
+            network.start_flow(network.make_flow(i, 0, 1 + i % 3, 2000))
+        network.sim.run()
+        assert len(network.stats.flows) == 4
+        assert network.stats.completion_fraction() == 1.0

@@ -1,0 +1,196 @@
+"""Queue disciplines: DropTail, ECN, pFabric, sfqCoDel, XCP controller."""
+
+import pytest
+
+from repro.sim import (CoDelState, DropTailQueue, EcnQueue, PFabricQueue,
+                       Packet, SfqCoDelQueue, SimFlow, XcpController)
+
+
+def data_packet(seq=0, priority=0.0, flow_id=1, size=1500):
+    flow = SimFlow(flow_id, 0, 1, 15000, 0.0)
+    pkt = Packet(flow, seq, size, Packet.DATA, ())
+    pkt.priority = priority
+    return pkt
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity_packets=4)
+        for seq in range(3):
+            assert q.enqueue(data_packet(seq), 0.0)
+        assert [q.dequeue(1.0).seq for _ in range(3)] == [0, 1, 2]
+
+    def test_drops_when_full(self):
+        q = DropTailQueue(capacity_packets=2)
+        assert q.enqueue(data_packet(0), 0.0)
+        assert q.enqueue(data_packet(1), 0.0)
+        assert not q.enqueue(data_packet(2), 0.0)
+        assert q.stats.dropped_packets == 1
+        assert q.stats.dropped_bytes == 1500
+
+    def test_byte_accounting(self):
+        q = DropTailQueue()
+        q.enqueue(data_packet(0, size=100), 0.0)
+        q.enqueue(data_packet(1, size=200), 0.0)
+        assert q.bytes_queued == 300
+        q.dequeue(0.0)
+        assert q.bytes_queued == 200
+
+    def test_empty_dequeue_none(self):
+        assert DropTailQueue().dequeue(0.0) is None
+
+
+class TestEcn:
+    def test_marks_above_threshold(self):
+        q = EcnQueue(capacity_packets=10, mark_threshold_packets=2)
+        p0, p1, p2 = (data_packet(i) for i in range(3))
+        q.enqueue(p0, 0.0)
+        q.enqueue(p1, 0.0)
+        q.enqueue(p2, 0.0)  # occupancy 2 >= K at arrival
+        assert not p0.ecn_ce and not p1.ecn_ce and p2.ecn_ce
+        assert q.stats.marked_packets == 1
+
+
+class TestPFabric:
+    def test_dequeues_highest_priority_first(self):
+        q = PFabricQueue(capacity_packets=8)
+        q.enqueue(data_packet(0, priority=50.0), 0.0)
+        q.enqueue(data_packet(1, priority=5.0), 0.0)
+        q.enqueue(data_packet(2, priority=20.0), 0.0)
+        assert q.dequeue(0.0).priority == 5.0
+        assert q.dequeue(0.0).priority == 20.0
+
+    def test_fifo_among_equal_priorities(self):
+        q = PFabricQueue(capacity_packets=8)
+        q.enqueue(data_packet(0, priority=5.0), 0.0)
+        q.enqueue(data_packet(1, priority=5.0), 0.0)
+        assert q.dequeue(0.0).seq == 0
+
+    def test_evicts_worst_when_full(self):
+        q = PFabricQueue(capacity_packets=2)
+        q.enqueue(data_packet(0, priority=100.0), 0.0)
+        q.enqueue(data_packet(1, priority=5.0), 0.0)
+        assert q.enqueue(data_packet(2, priority=1.0), 0.0)
+        assert q.stats.dropped_packets == 1
+        priorities = {q.dequeue(0.0).priority for _ in range(2)}
+        assert priorities == {1.0, 5.0}
+
+    def test_drops_arrival_if_it_is_worst(self):
+        q = PFabricQueue(capacity_packets=2)
+        q.enqueue(data_packet(0, priority=1.0), 0.0)
+        q.enqueue(data_packet(1, priority=2.0), 0.0)
+        assert not q.enqueue(data_packet(2, priority=99.0), 0.0)
+        assert len(q) == 2
+
+
+class TestCoDel:
+    def test_no_drop_below_target(self):
+        codel = CoDelState(target=5e-3, interval=100e-3)
+        assert not codel.should_drop(1e-3, 0.0)
+
+    def test_drops_after_persistent_excess(self):
+        codel = CoDelState(target=1e-3, interval=10e-3)
+        now, dropped = 0.0, False
+        for _ in range(100):
+            if codel.should_drop(5e-3, now):
+                dropped = True
+                break
+            now += 1e-3
+        assert dropped
+
+    def test_control_law_accelerates(self):
+        codel = CoDelState(target=1e-3, interval=10e-3)
+        now = 0.0
+        drops = []
+        for _ in range(2000):
+            if codel.should_drop(5e-3, now):
+                drops.append(now)
+            now += 0.5e-3
+        assert len(drops) >= 3
+        gaps = [b - a for a, b in zip(drops[1:], drops[2:])]
+        assert gaps == sorted(gaps, reverse=True) or gaps[-1] <= gaps[0]
+
+
+class TestSfqCoDel:
+    def test_flows_isolated_into_buckets(self):
+        q = SfqCoDelQueue(capacity_packets=16, n_buckets=64)
+        # Two flows interleaved: DRR should alternate buckets.
+        for seq in range(3):
+            q.enqueue(data_packet(seq, flow_id=1, size=1000), 0.0)
+        q.enqueue(data_packet(0, flow_id=2, size=1000), 0.0)
+        out = [q.dequeue(0.0).flow.flow_id for _ in range(4)]
+        assert set(out) == {1, 2}
+        # The lone flow-2 packet must not wait behind all of flow 1.
+        assert out.index(2) < 3
+
+    def test_overflow_tail_drops_arrival(self):
+        q = SfqCoDelQueue(capacity_packets=2, overflow="tail")
+        q.enqueue(data_packet(0, flow_id=1), 0.0)
+        q.enqueue(data_packet(1, flow_id=1), 0.0)
+        assert not q.enqueue(data_packet(2, flow_id=2), 0.0)
+
+    def test_overflow_fattest_evicts_longest_bucket(self):
+        q = SfqCoDelQueue(capacity_packets=2, overflow="fattest")
+        q.enqueue(data_packet(0, flow_id=1), 0.0)
+        q.enqueue(data_packet(1, flow_id=1), 0.0)
+        assert q.enqueue(data_packet(0, flow_id=2), 0.0)
+        assert q.stats.dropped_packets == 1
+
+    def test_invalid_overflow_policy(self):
+        with pytest.raises(ValueError):
+            SfqCoDelQueue(overflow="bogus")
+
+    def test_total_packet_accounting(self):
+        q = SfqCoDelQueue(capacity_packets=8)
+        for seq in range(4):
+            q.enqueue(data_packet(seq, flow_id=seq % 2), 0.0)
+        assert len(q) == 4
+        while q.dequeue(0.0) is not None:
+            pass
+        assert len(q) == 0
+
+
+class TestXcpController:
+    def test_positive_feedback_with_spare_capacity(self):
+        controller = XcpController(capacity_bps=10e9)
+        pkt = data_packet(0)
+        pkt.xcp_rtt = 20e-6
+        pkt.xcp_cwnd_bytes = 15000
+        pkt.xcp_feedback = 1e9
+        controller.on_forward(pkt, 0, 0.0)
+        controller.end_interval(50e-6)
+        pkt2 = data_packet(1)
+        pkt2.xcp_rtt = 20e-6
+        pkt2.xcp_cwnd_bytes = 15000
+        pkt2.xcp_feedback = 1e9
+        controller.on_forward(pkt2, 0, 60e-6)
+        assert pkt2.xcp_feedback < 1e9   # clamped by the router
+        assert pkt2.xcp_feedback > 0     # spare capacity -> growth
+
+    def test_negative_feedback_when_overloaded(self):
+        controller = XcpController(capacity_bps=1e9, initial_interval=50e-6)
+        now = 0.0
+        # Saturate: 2x capacity of input plus a standing queue.
+        for round_index in range(4):
+            for i in range(20):
+                pkt = data_packet(i)
+                pkt.xcp_rtt = 20e-6
+                pkt.xcp_cwnd_bytes = 30000
+                pkt.xcp_feedback = 1e9
+                controller.on_forward(pkt, 100_000, now)
+                now += 5e-6
+            controller.end_interval(now)
+        probe = data_packet(99)
+        probe.xcp_rtt = 20e-6
+        probe.xcp_cwnd_bytes = 30000
+        probe.xcp_feedback = 1e9
+        controller.on_forward(probe, 100_000, now)
+        assert probe.xcp_feedback < 0
+
+    def test_ignores_acks(self):
+        controller = XcpController(capacity_bps=1e9)
+        flow = SimFlow(1, 0, 1, 1500, 0.0)
+        ack = Packet(flow, 0, 64, Packet.ACK, ())
+        ack.xcp_feedback = 123.0
+        controller.on_forward(ack, 0, 0.0)
+        assert ack.xcp_feedback == 123.0

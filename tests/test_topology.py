@@ -1,0 +1,145 @@
+"""Two-tier Clos construction, routing, and block partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import LinkKind, TwoTierClos, paper_topology
+from repro.topology.graph import Topology
+
+
+class TestConstruction:
+    def test_paper_topology_dimensions(self):
+        topo = paper_topology()
+        assert topo.n_hosts == 144
+        assert topo.n_links == 2 * 144 + 2 * 9 * 4
+        assert topo.fabric_capacity == pytest.approx(40.0)
+
+    def test_full_bisection_sizing(self):
+        topo = TwoTierClos(n_racks=4, hosts_per_rack=8, n_spines=2,
+                           host_capacity=10.0)
+        assert topo.fabric_capacity == pytest.approx(40.0)
+
+    def test_oversubscription(self):
+        topo = TwoTierClos(n_racks=4, hosts_per_rack=8, n_spines=2,
+                           host_capacity=10.0, oversubscription=2.0)
+        assert topo.fabric_capacity == pytest.approx(20.0)
+
+    def test_link_kind_layout(self):
+        topo = TwoTierClos(n_racks=2, hosts_per_rack=2, n_spines=2)
+        kinds = [spec.kind for spec in topo.links]
+        assert kinds[:4] == [LinkKind.HOST_UP] * 4
+        assert kinds[4:8] == [LinkKind.HOST_DOWN] * 4
+        assert kinds[8:12] == [LinkKind.FABRIC_UP] * 4
+        assert kinds[12:] == [LinkKind.FABRIC_DOWN] * 4
+
+    def test_rtts_match_section_6_2(self):
+        topo = paper_topology()
+        assert topo.two_hop_rtt() == pytest.approx(14e-6)
+        assert topo.four_hop_rtt() == pytest.approx(20e-6)
+
+    def test_bisection_capacity(self):
+        topo = TwoTierClos(n_racks=3, hosts_per_rack=8, n_spines=2)
+        assert topo.bisection_capacity() == pytest.approx(240.0)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            TwoTierClos(n_racks=0)
+
+    def test_link_set_matches_specs(self):
+        topo = TwoTierClos(n_racks=2, hosts_per_rack=2, n_spines=2)
+        links = topo.link_set()
+        assert links.n_links == topo.n_links
+        assert links.capacity[0] == pytest.approx(topo.host_capacity)
+
+
+class TestRouting:
+    def test_intra_rack_two_hops(self):
+        topo = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
+        route = topo.route(0, 1)
+        assert len(route) == 2
+        assert topo.links[route[0]].kind is LinkKind.HOST_UP
+        assert topo.links[route[1]].kind is LinkKind.HOST_DOWN
+
+    def test_cross_rack_four_hops(self):
+        topo = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
+        route = topo.route(0, 5)
+        kinds = [topo.links[i].kind for i in route]
+        assert kinds == [LinkKind.HOST_UP, LinkKind.FABRIC_UP,
+                         LinkKind.FABRIC_DOWN, LinkKind.HOST_DOWN]
+
+    def test_self_route_rejected(self):
+        topo = TwoTierClos(n_racks=2, hosts_per_rack=2, n_spines=2)
+        with pytest.raises(ValueError):
+            topo.route(3, 3)
+
+    def test_ecmp_is_deterministic_per_flow(self):
+        topo = paper_topology()
+        assert list(topo.route(0, 100, 42)) == list(topo.route(0, 100, 42))
+
+    def test_ecmp_spreads_across_spines(self):
+        topo = paper_topology()
+        spines = {topo.spine_for(0, 100, fid) for fid in range(64)}
+        assert len(spines) == topo.n_spines
+
+    def test_route_connectivity(self):
+        """Consecutive links in a route share the intermediate switch."""
+        topo = TwoTierClos(n_racks=3, hosts_per_rack=4, n_spines=2)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            src = int(rng.integers(topo.n_hosts))
+            dst = int(rng.integers(topo.n_hosts - 1))
+            if dst >= src:
+                dst += 1
+            route = topo.route(src, dst, int(rng.integers(100)))
+            specs = [topo.links[i] for i in route]
+            assert specs[0].src == f"h{src}"
+            assert specs[-1].dst == f"h{dst}"
+            for a, b in zip(specs, specs[1:]):
+                assert a.dst == b.src
+
+    @settings(max_examples=40, deadline=None)
+    @given(fid=st.integers(0, 10_000), src=st.integers(0, 143),
+           offset=st.integers(1, 143))
+    def test_route_valid_for_any_pair(self, fid, src, offset):
+        topo = paper_topology()
+        dst = (src + offset) % topo.n_hosts
+        route = topo.route(src, dst, fid)
+        assert len(route) in (2, 4)
+        assert all(0 <= i < topo.n_links for i in route)
+
+    def test_string_flow_ids_hash_stably(self):
+        topo = paper_topology()
+        assert topo.spine_for(0, 20, "flow-x") == topo.spine_for(0, 20, "flow-x")
+
+
+class TestBlocks:
+    def test_rack_blocks_partition(self):
+        topo = TwoTierClos(n_racks=8, hosts_per_rack=2, n_spines=2)
+        blocks = topo.rack_blocks(4)
+        assert len(blocks) == 4
+        assert sorted(np.concatenate(blocks)) == list(range(8))
+
+    def test_uneven_blocks_rejected(self):
+        topo = TwoTierClos(n_racks=9, hosts_per_rack=2, n_spines=2)
+        with pytest.raises(ValueError):
+            topo.rack_blocks(4)
+
+    def test_up_down_blocks_are_disjoint_and_cover(self):
+        topo = TwoTierClos(n_racks=4, hosts_per_rack=2, n_spines=2)
+        blocks = topo.rack_blocks(2)
+        up = np.concatenate([topo.upward_link_block(b) for b in blocks])
+        down = np.concatenate([topo.downward_link_block(b) for b in blocks])
+        assert len(set(up) & set(down)) == 0
+        assert len(set(up) | set(down)) == topo.n_links
+
+    def test_upward_block_kinds(self):
+        topo = TwoTierClos(n_racks=4, hosts_per_rack=2, n_spines=2)
+        block = topo.upward_link_block(topo.rack_blocks(2)[0])
+        assert all(topo.links[i].is_upward for i in block)
+
+
+class TestBaseClass:
+    def test_route_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Topology().route(0, 1)

@@ -1,0 +1,152 @@
+"""Transport behaviours: reliability, window laws, per-scheme quirks."""
+
+import numpy as np
+import pytest
+
+from repro.sim import MSS_BYTES
+from repro.sim.experiments import build_network
+
+
+def run_single_flow(scheme, topology, size_bytes, **overrides):
+    network = build_network(scheme, topology=topology, **overrides)
+    flow = network.make_flow("f", 0, topology.n_hosts - 1, size_bytes)
+    sender = network.start_flow(flow)
+    network.sim.run()
+    return network, flow, sender
+
+
+class TestReliability:
+    @pytest.mark.parametrize("scheme", ["tcp", "dctcp", "pfabric",
+                                        "sfqcodel", "xcp", "flowtune"])
+    def test_every_scheme_completes_a_flow(self, tiny_clos, scheme):
+        _, flow, _ = run_single_flow(scheme, tiny_clos, 50 * MSS_BYTES)
+        assert flow.finish_time is not None
+        assert flow.bytes_delivered >= flow.size_bytes
+
+    def test_recovers_from_heavy_loss(self, tiny_clos):
+        """A 4-packet queue forces drops; TCP must still finish."""
+        network = build_network("tcp", topology=tiny_clos,
+                                queue_capacity_packets=4,
+                                initial_cwnd=32.0)
+        flows = [network.make_flow(i, i % 3, 3 + i % 4, 30 * MSS_BYTES)
+                 for i in range(6)]
+        for flow in flows:
+            network.start_flow(flow)
+        network.sim.run()
+        dropped = network.total_dropped_bytes()
+        assert dropped > 0, "scenario should actually drop"
+        assert all(f.finish_time is not None for f in flows)
+
+    def test_completion_frees_agent_slots(self, tiny_clos):
+        network = build_network("tcp", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 2000)
+        network.start_flow(flow)
+        network.sim.run()
+        assert "f" not in network.hosts[0].senders
+        assert "f" not in network.hosts[1].receivers
+
+    def test_abort_stops_sending(self, tiny_clos):
+        network = build_network("tcp", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 10_000 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        network.run_until(100e-6)
+        sender.abort()
+        remaining = network.sim.pending
+        network.sim.run(max_events=200_000)
+        assert sender.done
+        assert network.sim.pending == 0
+
+
+class TestTcpWindow:
+    def test_slow_start_doubles_per_rtt(self, tiny_clos):
+        network = build_network("tcp", topology=tiny_clos, initial_cwnd=2.0)
+        flow = network.make_flow("f", 0, 1, 64 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        network.run_until(3 * 14e-6)
+        assert sender.cwnd >= 8.0
+
+    def test_fct_close_to_ideal_on_empty_network(self, tiny_clos):
+        _, flow, _ = run_single_flow("tcp", tiny_clos, 5 * MSS_BYTES,
+                                     initial_cwnd=10.0)
+        wire = (5 * (MSS_BYTES + 58)) * 8 / 10e9
+        ideal = 11e-6 + wire  # one-way 4-hop + serialization
+        assert flow.fct <= 3 * ideal
+
+
+class TestDctcp:
+    def test_alpha_decays_without_marks(self, tiny_clos):
+        _, _, sender = run_single_flow("dctcp", tiny_clos, 80 * MSS_BYTES)
+        assert sender.alpha < 1.0
+
+    def test_backs_off_under_marking(self, tiny_clos):
+        network = build_network("dctcp", topology=tiny_clos,
+                                ecn_threshold_packets=4)
+        flows = [network.make_flow(i, 1 + i, 0, 400 * MSS_BYTES)
+                 for i in range(3)]
+        senders = [network.start_flow(f) for f in flows]
+        network.run_until(3e-3)
+        # With K=4 and three competitors, windows must stay modest.
+        assert all(s.done or s.cwnd < 64 for s in senders)
+        drops = network.total_dropped_bytes()
+        hot = network.links[tiny_clos.host_down_link(0)]
+        assert hot.queue.stats.marked_packets > 0
+
+
+class TestPFabric:
+    def test_priority_is_remaining_size(self, tiny_clos):
+        network = build_network("pfabric", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 10 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        assert sender._priority() == 10.0
+        network.sim.run()
+        assert sender._priority() == 0.0
+
+    def test_short_flow_preempts_long(self, tiny_clos):
+        network = build_network("pfabric", topology=tiny_clos)
+        long_flow = network.make_flow("long", 1, 0, 2000 * MSS_BYTES)
+        network.start_flow(long_flow)
+        network.run_until(200e-6)
+        short = network.make_flow("short", 2, 0, 5 * MSS_BYTES)
+        network.start_flow(short)
+        start = network.sim.now
+        network.run_until(start + 2e-3)
+        assert short.finish_time is not None
+        # The short flow finishes near-ideal despite the elephant.
+        assert short.finish_time - start < 150e-6
+
+    def test_probe_mode_after_repeated_timeouts(self, tiny_clos):
+        network = build_network("pfabric", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 50 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        sender.consecutive_timeouts = network.config.pfabric_probe_after
+        assert sender.window() == 1.0
+
+
+class TestXcp:
+    def test_no_drops_on_shared_bottleneck(self, tiny_clos):
+        network = build_network("xcp", topology=tiny_clos)
+        flows = [network.make_flow(i, 1 + i, 0, 300 * MSS_BYTES)
+                 for i in range(3)]
+        for flow in flows:
+            network.start_flow(flow)
+        network.run_until(5e-3)
+        assert network.total_dropped_bytes() == 0
+
+    def test_cwnd_grows_from_feedback(self, tiny_clos):
+        network = build_network("xcp", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 600 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        network.run_until(1.5e-3)
+        assert sender.done or sender.cwnd > network.config.xcp_initial_cwnd
+
+
+class TestCubic:
+    def test_window_reduction_on_loss_uses_beta(self, tiny_clos):
+        network = build_network("sfqcodel", topology=tiny_clos)
+        flow = network.make_flow("f", 0, 1, 100 * MSS_BYTES)
+        sender = network.start_flow(flow)
+        network.run_until(50e-6)
+        before = sender.cwnd = 20.0
+        sender.on_loss()
+        assert sender.cwnd == pytest.approx(
+            before * network.config.cubic_beta)
