@@ -15,10 +15,25 @@ and still use pytest-benchmark for wall-clock accounting.
 from __future__ import annotations
 
 import os
+import platform
 import sys
 from dataclasses import dataclass
 
-__all__ = ["SCALE", "ScaleConfig", "report", "fct_run", "FCT_SCHEMES"]
+__all__ = ["SCALE", "ScaleConfig", "report", "fct_run", "FCT_SCHEMES",
+           "bench_environment"]
+
+
+def bench_environment():
+    """Machine/interpreter fingerprint stamped into benchmark JSON so a
+    result file (or the committed baseline) records where it came from."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "system": platform.system(),
+        "machine": platform.machine(),
+    }
 
 
 @dataclass(frozen=True)

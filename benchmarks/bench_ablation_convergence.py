@@ -9,7 +9,6 @@ FGM on the same fabric.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core import (FgmOptimizer, FlowTable, GradientOptimizer,

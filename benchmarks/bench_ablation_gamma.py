@@ -8,7 +8,6 @@ would wreck — to confirm the plateau the paper describes.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core.ned import NedOptimizer

@@ -11,7 +11,6 @@ runs scale-down-only (see `repro.control.allocator_node`).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core.normalization import FNormalizer

@@ -13,10 +13,9 @@ the §7 trade-off concrete.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
-from repro.core import FlowTable, NedOptimizer, solve_to_optimal
+from repro.core import FlowTable, NedOptimizer
 from repro.topology import ThreeTierClos
 
 from _common import report

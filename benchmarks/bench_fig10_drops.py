@@ -5,7 +5,6 @@ Paper: sfqCoDel drops up to ~8 % of bytes (over 100 Gbit/s at load
 (Flowtune and XCP in particular are ~zero).
 """
 
-import pytest
 
 from repro.analysis import format_table
 
@@ -20,7 +19,7 @@ def test_drop_rates(benchmark):
         for scheme in FCT_SCHEMES:
             net, stats, duration = fct_run(scheme, load)
             dropped = stats.drop_gbps(net.links, duration)
-            transmitted = sum(l.tx_bytes for l in net.links)
+            transmitted = sum(link.tx_bytes for link in net.links)
             fraction = stats.dropped_bytes(net.links) / max(transmitted, 1)
             table[scheme] = (dropped, fraction)
         return table

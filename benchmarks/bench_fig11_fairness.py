@@ -6,7 +6,6 @@ XCP and ~0.25 less under sfqCoDel — i.e. every compared scheme
 allocates farther from the proportional-fair optimum.
 """
 
-import pytest
 
 from repro.analysis import flow_rates, format_table, relative_fairness
 

@@ -7,7 +7,6 @@ variants differ from their references, and FGM handles the update
 stream worst.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.fluid import over_allocation_by_algorithm

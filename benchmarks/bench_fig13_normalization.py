@@ -7,7 +7,6 @@ to convergence provides the "optimal" reference — the same methodology
 as the paper.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.fluid import normalization_throughput

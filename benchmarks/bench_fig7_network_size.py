@@ -7,7 +7,6 @@ updates from cascading network-wide.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.fluid import measure_update_traffic

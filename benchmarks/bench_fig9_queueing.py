@@ -11,7 +11,6 @@ that readout (the comparable one) and our stricter per-packet
 accounting.
 """
 
-import pytest
 
 from repro.analysis import format_table
 

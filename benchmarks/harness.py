@@ -1,0 +1,366 @@
+#!/usr/bin/env python
+"""Hot-path performance harness with a regression gate.
+
+Measures the throughput of the allocator's two critical loops —
+``FlowtuneAllocator.iterate`` under flowlet churn at 1k/10k/100k
+flows, and one ``MulticoreNedEngine`` parallel iteration — and writes
+the results as machine-readable ``BENCH_hotpath.json``.  A committed
+baseline (``benchmarks/baseline.json``) plus a tolerance gate turn the
+numbers into a CI check: any benchmark that lands more than
+``--tolerance`` (default 30 %) below baseline fails the run when
+``--check`` is given.
+
+Hardware normalization: raw ops/sec is meaningless across machines
+(laptop vs CI runner), so every run also times a fixed pure-numpy
+*calibration* kernel shaped like the allocator's gather/scatter work.
+The gate compares each benchmark's ops/sec *relative to calibration*
+against the baseline's relative score, which makes the committed
+baseline portable across hosts.
+
+Usage::
+
+    python benchmarks/harness.py --quick             # CI smoke (<2 min)
+    python benchmarks/harness.py                     # full mode
+    python benchmarks/harness.py --quick --check     # gate vs baseline
+    python benchmarks/harness.py --update-baseline   # refresh baseline
+
+The harness deliberately works against both the current tree and the
+seed implementation (``apply_churn`` is used when present, per-event
+``flowlet_start``/``flowlet_end`` otherwise) so one script can measure
+speedups across revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from _common import bench_environment  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+#: per-benchmark (n_ops, repeats) knobs for the two modes.
+_MODES = {
+    "quick": {"warmup_iters": 20, "repeats": 2,
+              "churn_ops": {1_000: 60, 10_000: 30, 100_000: 10},
+              "multicore_ops": 10},
+    "full": {"warmup_iters": 50, "repeats": 3,
+             "churn_ops": {1_000: 300, 10_000: 150, 100_000: 40},
+             "multicore_ops": 40},
+}
+
+
+# ----------------------------------------------------------------------
+# timing
+# ----------------------------------------------------------------------
+def best_rate(op, n_ops, repeats):
+    """ops/sec from the fastest of ``repeats`` timed batches.
+
+    ``op`` receives a monotonically increasing op index so stateful
+    benchmarks (churn) never reuse flow ids across batches.
+    """
+    counter = 0
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(n_ops):
+            op(counter)
+            counter += 1
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return n_ops / best
+
+
+# ----------------------------------------------------------------------
+# calibration: fixed numpy kernel shaped like the allocator hot loop
+# ----------------------------------------------------------------------
+def bench_calibration(mode):
+    """Gather + reduce + bincount on fixed arrays (machine speed probe)."""
+    rng = np.random.default_rng(7)
+    n_flows, route_len, n_links = 10_000, 4, 512
+    routes = rng.integers(0, n_links, size=(n_flows, route_len))
+    prices = rng.random(n_links + 1)
+    flat = routes.reshape(-1)
+
+    def op(_):
+        rho = prices[flat].reshape(n_flows, route_len).sum(axis=1)
+        rates = 1.0 / (rho + 1.0)
+        np.bincount(flat, weights=np.repeat(rates, route_len),
+                    minlength=n_links + 1)
+
+    n_ops = 30 if mode == "quick" else 100
+    ops = best_rate(op, n_ops, _MODES[mode]["repeats"])
+    return {"ops_per_sec": ops,
+            "params": {"n_flows": n_flows, "n_links": n_links,
+                       "n_ops": n_ops}}
+
+
+# ----------------------------------------------------------------------
+# allocator iterate-under-churn
+# ----------------------------------------------------------------------
+def _apply_churn(allocator, starts=(), ends=()):
+    """Batched churn when available (current tree), per-event otherwise
+    (seed implementation) — lets one harness measure both revisions."""
+    if hasattr(allocator, "apply_churn"):
+        allocator.apply_churn(starts=starts, ends=ends)
+    else:
+        for flow_id in ends:
+            allocator.flowlet_end(flow_id)
+        for start in starts:
+            allocator.flowlet_start(*start)
+
+
+def _random_pair(topology, rng):
+    src = int(rng.integers(topology.n_hosts))
+    dst = int(rng.integers(topology.n_hosts - 1))
+    if dst >= src:
+        dst += 1
+    return src, dst
+
+
+def _random_route(topology, rng, flow_id):
+    src, dst = _random_pair(topology, rng)
+    return topology.route(src, dst, flow_id)
+
+
+def bench_iterate_churn(n_flows, mode, seed=17):
+    """One op = one churn batch (1 % of flows end, 1 % start) followed
+    by one ``iterate()`` — the §6.2 steady-state allocator loop."""
+    from repro.core import FlowtuneAllocator
+    from repro.topology import TwoTierClos
+
+    config = _MODES[mode]
+    n_ops = config["churn_ops"][n_flows]
+    topology = TwoTierClos(n_racks=9, hosts_per_rack=16, n_spines=4)
+    allocator = FlowtuneAllocator(topology.link_set())
+    rng = np.random.default_rng(seed)
+
+    _apply_churn(allocator, starts=[
+        (("f", i), _random_route(topology, rng, i)) for i in range(n_flows)])
+    allocator.iterate(config["warmup_iters"])
+
+    churn = max(1, n_flows // 100)
+    # Pre-compute every batch's routes so the timed loop measures
+    # allocator work, not topology.route().
+    total_batches = (config["repeats"] + 1) * n_ops + 2
+    batches = []
+    next_id = n_flows
+    oldest = 0
+    for _ in range(total_batches):
+        ends = [("f", i) for i in range(oldest, oldest + churn)]
+        starts = [(("f", next_id + j),
+                   _random_route(topology, rng, next_id + j))
+                  for j in range(churn)]
+        oldest += churn
+        next_id += churn
+        batches.append((starts, ends))
+
+    def op(i):
+        starts, ends = batches[i]
+        _apply_churn(allocator, starts=starts, ends=ends)
+        allocator.iterate(1)
+
+    ops = best_rate(op, n_ops, config["repeats"])
+    return {"ops_per_sec": ops,
+            "params": {"n_flows": n_flows, "churn_per_op": churn,
+                       "n_ops": n_ops, "seed": seed}}
+
+
+# ----------------------------------------------------------------------
+# multicore engine iteration
+# ----------------------------------------------------------------------
+def bench_multicore(mode, n_blocks=4, flows_per_host=8, seed=0):
+    """One op = one full parallel NED iteration (rate partials,
+    fig. 3 aggregation, price update, distribution) on a 16-processor
+    grid."""
+    from repro.parallel import MulticoreNedEngine
+    from repro.topology import TwoTierClos
+
+    config = _MODES[mode]
+    topology = TwoTierClos(n_racks=n_blocks * 2, hosts_per_rack=8,
+                           n_spines=4)
+    engine = MulticoreNedEngine(topology, n_blocks)
+    rng = np.random.default_rng(seed)
+    for i in range(flows_per_host * topology.n_hosts):
+        src, dst = _random_pair(topology, rng)
+        engine.add_flow(i, src, dst)
+    engine.iterate(3)  # warm up
+
+    ops = best_rate(lambda _: engine.iterate(1),
+                    config["multicore_ops"], config["repeats"])
+    return {"ops_per_sec": ops,
+            "params": {"n_processors": n_blocks * n_blocks,
+                       "n_flows": engine.n_flows,
+                       "n_ops": config["multicore_ops"], "seed": seed}}
+
+
+BENCHMARKS = {
+    "calibration": lambda mode: bench_calibration(mode),
+    "iterate_churn_1k": lambda mode: bench_iterate_churn(1_000, mode),
+    "iterate_churn_10k": lambda mode: bench_iterate_churn(10_000, mode),
+    "iterate_churn_100k": lambda mode: bench_iterate_churn(100_000, mode),
+    "multicore_16proc": lambda mode: bench_multicore(mode),
+}
+
+
+# ----------------------------------------------------------------------
+# baseline gate
+# ----------------------------------------------------------------------
+def relative_scores(results):
+    """Each benchmark's ops/sec divided by the run's calibration
+    ops/sec — the hardware-normalized figure the gate compares."""
+    cal = results["calibration"]["ops_per_sec"]
+    return {name: entry["ops_per_sec"] / cal
+            for name, entry in results.items() if name != "calibration"}
+
+
+def compare(results, baseline_results, tolerance, require_all=True):
+    """Returns (rows, regressions) comparing normalized scores.
+
+    ``baseline_results`` must come from the *same mode* as this run —
+    quick and full scores skew systematically (different warmup and op
+    counts), enough to eat most of the tolerance.  With ``require_all``
+    (any run without ``--only``), a benchmark present in the baseline
+    but absent from this run counts as a regression — otherwise a
+    partial run would silently narrow the gate.
+    """
+    current = relative_scores(results)
+    base = relative_scores(baseline_results)
+    rows, regressions = [], []
+    for name, score in sorted(current.items()):
+        if name not in base:
+            rows.append((name, score, None, None, "new"))
+            continue
+        ratio = score / base[name]
+        status = "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            regressions.append(name)
+        rows.append((name, score, base[name], ratio, status))
+    for name in sorted(set(base) - set(current)):
+        if require_all:
+            rows.append((name, None, base[name], None, "MISSING"))
+            regressions.append(name)
+        else:
+            rows.append((name, None, base[name], None, "skipped (--only)"))
+    return rows, regressions
+
+
+def print_comparison(rows, tolerance):
+    print(f"\n{'benchmark':<24} {'now':>10} {'baseline':>10} "
+          f"{'ratio':>7}  status (gate: ratio >= {1 - tolerance:.2f})")
+    for name, score, base, ratio, status in rows:
+        score_s = f"{score:10.4f}" if score is not None else f"{'-':>10}"
+        base_s = f"{base:10.4f}" if base is not None else f"{'-':>10}"
+        ratio_s = f"{ratio:7.2f}" if ratio is not None else f"{'-':>7}"
+        print(f"{name:<24} {score_s} {base_s} {ratio_s}  {status}")
+    print("(scores are ops/sec normalized by the calibration kernel)")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Flowtune hot-path benchmark harness")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: fewer ops per benchmark (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any benchmark regresses past "
+                             "the tolerance vs the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed normalized-score drop (default 0.30)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"result JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON to compare against")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run's results as the baseline")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="run just the named benchmark(s); "
+                             "calibration always runs")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    names = list(BENCHMARKS)
+    if args.only and args.update_baseline:
+        parser.error("--update-baseline requires the full benchmark set "
+                     "(drop --only); a partial baseline would narrow the "
+                     "regression gate")
+    if args.only:
+        unknown = set(args.only) - set(BENCHMARKS)
+        if unknown:
+            parser.error(f"unknown benchmark(s): {sorted(unknown)}; "
+                         f"choose from {names}")
+        names = ["calibration"] + [n for n in names
+                                   if n in args.only and n != "calibration"]
+
+    results = {}
+    wall_start = time.perf_counter()
+    for name in names:
+        t0 = time.perf_counter()
+        results[name] = BENCHMARKS[name](mode)
+        ops = results[name]["ops_per_sec"]
+        print(f"{name:<24} {ops:12.1f} ops/sec  "
+              f"({time.perf_counter() - t0:5.1f}s)")
+    wall = time.perf_counter() - wall_start
+
+    payload = {
+        "schema": 2,
+        "mode": mode,
+        "wall_seconds": round(wall, 2),
+        "environment": bench_environment(),
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output} ({wall:.1f}s total)")
+
+    # The baseline file keeps one entry per mode: quick and full
+    # scores are not comparable (different warmup and op counts), so
+    # each lane gates against a baseline recorded in its own mode.
+    if args.update_baseline:
+        modes = {}
+        if args.baseline.exists():
+            modes = json.loads(args.baseline.read_text()).get("modes", {})
+        modes[mode] = {"wall_seconds": payload["wall_seconds"],
+                       "environment": payload["environment"],
+                       "results": results}
+        args.baseline.write_text(json.dumps(
+            {"schema": 2, "modes": modes}, indent=2) + "\n")
+        print(f"baseline updated ({mode} mode): {args.baseline}")
+        return 0
+
+    base_results = None
+    if args.baseline.exists():
+        base_results = json.loads(args.baseline.read_text()) \
+            .get("modes", {}).get(mode, {}).get("results")
+    if base_results is not None:
+        rows, regressions = compare(results, base_results, args.tolerance,
+                                    require_all=not args.only)
+        print_comparison(rows, args.tolerance)
+        if regressions:
+            print(f"\nFAIL: past tolerance ({args.tolerance:.0%}) vs "
+                  f"{mode} baseline: {', '.join(regressions)}")
+            if args.check:
+                return 1
+        else:
+            print(f"\nall benchmarks within tolerance of {mode} baseline")
+    elif args.check:
+        print(f"FAIL: --check given but no {mode}-mode baseline at "
+              f"{args.baseline}")
+        return 1
+    else:
+        print(f"(no {mode}-mode baseline at {args.baseline}; run with "
+              "--update-baseline to record one)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

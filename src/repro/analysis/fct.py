@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..sim.packet import MSS_BYTES, packets_for
+from ..sim.packet import packets_for
 
 __all__ = ["SIZE_BINS", "bin_of", "ideal_fct", "normalized_fcts",
            "p99_by_bin", "speedup_by_bin"]

@@ -108,31 +108,68 @@ class AllocatorNode(Device):
                        daemon=True)
 
     def _apply_inbox(self):
+        """Reduce the tick's buffered events to their net effect and
+        apply them as one batched ``apply_churn`` call.
+
+        A start followed by an end in the same tick cancels out; an
+        end followed by a start restarts the flow (remove-then-add).
+        Ends for unknown flows are parked as orphans exactly as the
+        sequential version did.
+        """
         inbox, self._inbox = self._inbox, []
-        retry_ends = []
+        retired = set()
         for flow_id, retries in list(self._orphan_ends.items()):
             inbox.append(("end", (flow_id,)))
             if retries <= 1:
+                # Out of retries: without remembering the id, the
+                # re-injected end below would re-park itself and the
+                # orphan would never actually give up.
                 del self._orphan_ends[flow_id]
+                retired.add(flow_id)
             else:
                 self._orphan_ends[flow_id] = retries - 1
+        starts = {}        # flow_id -> (src, route), in arrival order
+        ends = []
+        ending = set()
+        orphans = []
         for kind, data in inbox:
             if kind == "start":
                 flow_id, src, dst = data
-                if flow_id in self.allocator:
-                    continue
-                route = self.topology.route(src, dst, flow_id)
-                self.allocator.flowlet_start(flow_id, route)
-                self._flow_src[flow_id] = src
+                if flow_id in starts:
+                    continue  # duplicate start this tick
+                if flow_id in self.allocator and flow_id not in ending:
+                    continue  # already active and not being removed
+                starts[flow_id] = (src,
+                                   self.topology.route(src, dst, flow_id))
             else:  # "end"
                 flow_id = data[0]
-                if flow_id in self.allocator:
-                    self.allocator.flowlet_end(flow_id)
-                    self._flow_src.pop(flow_id, None)
+                if flow_id in starts:
+                    # Started and ended within the tick: net no-op.
+                    # The end is consumed — including an orphan retry,
+                    # which would otherwise keep cancelling this id's
+                    # restarts for up to MAX_ORPHAN_TICKS.  Marking it
+                    # retired stops a duplicate retry later in this
+                    # same inbox from re-parking the consumed orphan.
+                    del starts[flow_id]
                     self._orphan_ends.pop(flow_id, None)
-                elif flow_id not in self._orphan_ends:
-                    retry_ends.append(flow_id)
-        for flow_id in retry_ends:
+                    retired.add(flow_id)
+                elif flow_id in self.allocator:
+                    if flow_id not in ending:
+                        ends.append(flow_id)
+                        ending.add(flow_id)
+                elif (flow_id not in self._orphan_ends
+                        and flow_id not in retired):
+                    orphans.append(flow_id)
+        self.allocator.apply_churn(
+            starts=[(flow_id, route)
+                    for flow_id, (_src, route) in starts.items()],
+            ends=ends)
+        for flow_id in ends:
+            self._flow_src.pop(flow_id, None)
+            self._orphan_ends.pop(flow_id, None)
+        for flow_id, (src, _route) in starts.items():
+            self._flow_src[flow_id] = src
+        for flow_id in orphans:
             self._orphan_ends[flow_id] = MAX_ORPHAN_TICKS
 
     def _send_updates(self, updates):

@@ -14,7 +14,7 @@ from __future__ import annotations
 from ..sim.engine import Timer
 from ..sim.packet import Packet
 from .messages import (FLOWLET_END_BYTES, FLOWLET_START_BYTES,
-                       RATE_UPDATE_BYTES, TCP_IP_HEADER_BYTES)
+                       TCP_IP_HEADER_BYTES)
 
 __all__ = ["HostControlAgent", "control_frame_bytes"]
 

@@ -14,7 +14,7 @@ link for threshold 0.01), exactly as described in the paper.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -26,29 +26,60 @@ from .utility import Utility
 __all__ = ["RateUpdate", "AllocationResult", "FlowtuneAllocator"]
 
 
-@dataclass(frozen=True)
-class RateUpdate:
+class RateUpdate(NamedTuple):
     """One rate notification destined for a flow's sender."""
 
     flow_id: object
     rate: float
 
 
-@dataclass
+_NO_UPDATES = np.zeros(0, dtype=np.intp)
+
+
 class AllocationResult:
     """Outcome of one allocator invocation.
 
-    ``updates`` lists only the flows whose endpoints must be notified
-    (rate moved by more than the threshold, or flow is new); ``rates``
-    maps every active flow to its current normalized rate.
-    ``flow_ids`` and ``rate_vector`` expose the same allocation in the
-    flow table's positional order for vectorized consumers.
+    ``flow_ids`` and ``rate_vector`` expose the full allocation in the
+    flow table's positional order; ``update_indices`` are the positions
+    whose endpoints must be notified (rate moved by more than the
+    threshold, or flow is new).  ``updates`` renders those positions as
+    :class:`RateUpdate` objects and ``rates`` as a full id->rate dict —
+    both are materialized lazily on first access, so hot-path consumers
+    that stick to the vector forms pay nothing for them (at 10k flows
+    the RateUpdate list alone dominates ``iterate``'s cost).
     """
 
-    updates: list
-    rates: dict
-    flow_ids: list
-    rate_vector: object  # numpy array aligned with flow_ids
+    __slots__ = ("flow_ids", "rate_vector", "update_indices",
+                 "_updates", "_rates_dict")
+
+    def __init__(self, flow_ids, rate_vector, update_indices=_NO_UPDATES):
+        self.flow_ids = flow_ids
+        self.rate_vector = rate_vector  # numpy array aligned with flow_ids
+        self.update_indices = update_indices
+        self._updates = None
+        self._rates_dict = None
+
+    @property
+    def updates(self):
+        if self._updates is None:
+            ids = self.flow_ids
+            sent = np.asarray(self.rate_vector, dtype=np.float64)[
+                self.update_indices].tolist()
+            self._updates = [RateUpdate(ids[i], rate) for i, rate in
+                             zip(self.update_indices.tolist(), sent)]
+        return self._updates
+
+    @property
+    def rates(self):
+        if self._rates_dict is None:
+            self._rates_dict = dict(zip(
+                self.flow_ids,
+                np.asarray(self.rate_vector, dtype=np.float64).tolist()))
+        return self._rates_dict
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"AllocationResult(n_flows={len(self.flow_ids)}, "
+                f"n_updates={len(self.update_indices)})")
 
 
 class FlowtuneAllocator:
@@ -92,8 +123,14 @@ class FlowtuneAllocator:
             kwargs.setdefault("gamma", gamma)
         self.optimizer = optimizer_cls(self.table, utility=utility, **kwargs)
         self.normalizer = normalizer if normalizer is not None else FNormalizer()
-        self._last_sent = {}
-        self._pending_new = set()
+        # Positionally-aligned per-flow state, maintained by the flow
+        # table under swap-remove churn: the rate each endpoint was
+        # last notified of (NaN = never notified) and whether the flow
+        # is new since its last notification.  Their column defaults
+        # make flowlet start/end pure table operations.
+        self._last_sent = self.table.add_column(default=np.nan)
+        self._pending_new = self.table.add_column(default=True,
+                                                  dtype=np.bool_)
 
     # ------------------------------------------------------------------
     # endpoint notifications (fig. 1 left-to-right arrows)
@@ -101,13 +138,22 @@ class FlowtuneAllocator:
     def flowlet_start(self, flow_id, route, weight: float = 1.0):
         """An endpoint reports a new backlogged flowlet on ``route``."""
         self.table.add_flow(flow_id, route, weight=weight)
-        self._pending_new.add(flow_id)
 
     def flowlet_end(self, flow_id):
         """An endpoint reports its queue for ``flow_id`` drained."""
         self.table.remove_flow(flow_id)
-        self._last_sent.pop(flow_id, None)
-        self._pending_new.discard(flow_id)
+
+    def apply_churn(self, starts=(), ends=()):
+        """Apply a batch of flowlet events in one call.
+
+        ``ends`` (flow ids) are removed first, then ``starts``
+        (``(flow_id, route)`` or ``(flow_id, route, weight)`` tuples)
+        are added, so an id appearing in both is restarted and will be
+        re-notified as new.  Drivers that buffer notifications per
+        allocator tick (the fluid simulator, the ns-style allocator
+        node) use this to amortize bookkeeping across the batch.
+        """
+        self.table.apply_churn(starts=starts, ends=ends)
 
     @property
     def n_flows(self):
@@ -120,32 +166,43 @@ class FlowtuneAllocator:
     # allocation
     # ------------------------------------------------------------------
     def iterate(self, n: int = 1) -> AllocationResult:
-        """Run ``n`` optimizer iterations, normalize, emit notifications."""
+        """Run ``n`` optimizer iterations, normalize, emit notifications.
+
+        The threshold filter of §6.4 runs as one vectorized mask over
+        the positionally-aligned ``last_sent`` column: a flow is
+        notified when it is new, when a zero rate turns positive, or
+        when its rate leaves ``[(1-t)*last, (1+t)*last]``.
+        """
         raw = self.optimizer.iterate(n)
         normalized = self.normalizer(self.table, raw)
         flow_ids = self.table.flow_ids()
-        rates = dict(zip(flow_ids, (float(r) for r in normalized)))
-        updates = []
-        threshold = self.update_threshold
-        for flow_id, rate in rates.items():
-            last = self._last_sent.get(flow_id)
-            is_new = flow_id in self._pending_new
-            if last is None or is_new:
-                changed = True
-            elif last <= 0.0:
-                changed = rate > 0.0
-            else:
-                changed = abs(rate - last) > threshold * last
-            if changed:
-                updates.append(RateUpdate(flow_id, rate))
-                self._last_sent[flow_id] = rate
-                self._pending_new.discard(flow_id)
-        return AllocationResult(updates=updates, rates=rates,
-                                flow_ids=flow_ids, rate_vector=normalized)
+        update_idx = _NO_UPDATES
+        if flow_ids:
+            rate_vec = np.asarray(normalized, dtype=np.float64)
+            last = self._last_sent.data
+            pending = self._pending_new.data
+            # NaN (never notified) compares False everywhere, so it
+            # only contributes through the is_new term.
+            is_new = np.isnan(last) | pending
+            went_positive = (last <= 0.0) & (rate_vec > 0.0)
+            moved = (np.abs(rate_vec - last)
+                     > self.update_threshold * last)
+            changed = is_new | went_positive | ((last > 0.0) & moved)
+            update_idx = np.nonzero(changed)[0]
+            if len(update_idx):
+                last[update_idx] = rate_vec[update_idx]
+                pending[update_idx] = False
+        return AllocationResult(flow_ids=flow_ids, rate_vector=normalized,
+                                update_indices=update_idx)
 
     def current_rates(self):
         """Latest *notified* rate per flow (what endpoints believe)."""
-        return dict(self._last_sent)
+        last = self._last_sent.data
+        notified = ~np.isnan(last)
+        ids = self.table.flow_ids()
+        return {ids[i]: rate for i, rate in
+                zip(np.nonzero(notified)[0].tolist(),
+                    last[notified].tolist())}
 
     def raw_rates(self):
         """Un-normalized optimizer rates for the active flows."""

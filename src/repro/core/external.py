@@ -88,6 +88,6 @@ class ExternalTrafficManager:
     def _apply(self):
         capacity = self.allocator.table.links.capacity
         capacity[:] = self.effective_capacity()
-        # Invalidate capacity-derived optimizer state.
-        self.allocator.table.version += 1
+        # Invalidate capacity-derived optimizer state (this also bumps
+        # the table version and marks the bottleneck column stale).
         self.allocator.optimizer.refresh_capacity()

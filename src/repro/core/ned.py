@@ -70,7 +70,8 @@ class NedOptimizer(PriceOptimizer):
 
         Evaluated at the capped operating point (see
         :meth:`PriceOptimizer.effective_price_sums`) so rate and
-        sensitivity describe the same allocation.
+        sensitivity describe the same allocation; within ``iterate``
+        the memoized price sums of the rate update are reused.
         """
         rho = self.effective_price_sums(prices)
         per_flow = self.utility.rate_derivative(rho, self.table.weights)
@@ -80,10 +81,10 @@ class NedOptimizer(PriceOptimizer):
         over = self.over_allocation(rates)
         hessian = self.hessian_diagonal()
         carrying = hessian < 0.0
-        step = np.zeros_like(self.prices)
         # H_ll < 0, so G/H_ll has the opposite sign of G; subtracting it
         # raises the price of an over-allocated link (Equation 4).
-        step[carrying] = over[carrying] / hessian[carrying]
+        step = np.divide(over, hessian, out=np.zeros_like(self.prices),
+                         where=carrying)
         new_prices = np.where(carrying, self.prices - self.gamma * step,
                               self._idle_price)
         np.maximum(new_prices, 0.0, out=new_prices)

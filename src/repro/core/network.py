@@ -21,9 +21,33 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["LinkSet", "FlowTable"]
+__all__ = ["LinkSet", "FlowTable", "FlowColumn"]
 
 _INITIAL_CAPACITY = 64
+
+
+class FlowColumn:
+    """A per-flow scalar array kept positionally aligned with a
+    :class:`FlowTable` under swap-remove churn.
+
+    Obtained from :meth:`FlowTable.add_column`.  The table writes
+    ``default`` into a flow's slot when it is added and swap-moves the
+    last slot into removal holes, so ``data`` always lines up with
+    ``FlowTable.flow_ids()`` — consumers (e.g. the allocator's
+    ``last_sent`` rates) never do per-flow dict bookkeeping.
+    """
+
+    __slots__ = ("_table", "default", "_data")
+
+    def __init__(self, table, default, dtype):
+        self._table = table
+        self.default = default
+        self._data = np.full(len(table._weights), default, dtype=dtype)
+
+    @property
+    def data(self):
+        """Writable view aligned with the table's positional order."""
+        return self._data[: self._table._n]
 
 
 class LinkSet:
@@ -85,16 +109,38 @@ class FlowTable:
         #: incremented on every add/remove; lets optimizers cache
         #: per-flow derived arrays between churn events.
         self.version = 0
+        self._columns = []
+        # Scratch for the gather/scatter kernels: one flat
+        # ``capacity x max_route_len`` float64 buffer reused by
+        # price_sums / link_totals / max_link_value so the hot loop
+        # allocates only its (small) reduction outputs.
+        self._scratch = np.empty(_INITIAL_CAPACITY * self.max_route_len)
+        # Per-flow bottleneck capacity, maintained incrementally:
+        # O(route length) on add, O(1) swap on remove, full recompute
+        # deferred until the first read after link capacities change
+        # (refresh_capacity sets the dirty flag).
+        self._capacity_dirty = False
+        self._bottleneck = self.add_column(default=np.inf)
+
+    def add_column(self, default=0.0, dtype=np.float64):
+        """Register a per-flow side array the table keeps aligned.
+
+        Existing flows are filled with ``default``; newly added flows
+        start at ``default``; swap-remove moves entries with the flow
+        they belong to.  Returns the :class:`FlowColumn`.
+        """
+        column = FlowColumn(self, default, dtype)
+        self._columns.append(column)
+        return column
 
     # ------------------------------------------------------------------
     # churn
     # ------------------------------------------------------------------
-    def add_flow(self, flow_id, route, weight=1.0):
-        """Register a flow; returns its (unstable) positional index.
-
-        ``route`` is a sequence of link indices.  Every flow must
-        traverse at least one link (the paper's feasibility condition
-        ``L(s) != {}``).
+    def _check_new_flow(self, flow_id, route):
+        """Scalar admission checks shared by :meth:`add_flow` and the
+        batched :meth:`apply_churn`; returns the route as an array.
+        Link-index range and weight positivity are checked by the
+        caller (per-flow here, vectorized over the batch there).
         """
         if flow_id in self._index_of:
             raise KeyError(f"flow {flow_id!r} is already active")
@@ -105,9 +151,19 @@ class FlowTable:
             raise ValueError(
                 f"route has {len(route)} hops; table supports {self.max_route_len}"
             )
+        return route
+
+    def add_flow(self, flow_id, route, weight=1.0):
+        """Register a flow; returns its (unstable) positional index.
+
+        ``route`` is a sequence of link indices.  Every flow must
+        traverse at least one link (the paper's feasibility condition
+        ``L(s) != {}``).
+        """
+        route = self._check_new_flow(flow_id, route)
         if np.any(route < 0) or np.any(route >= self.links.n_links):
             raise ValueError("route contains an unknown link index")
-        if weight <= 0:
+        if not weight > 0:
             raise ValueError("flow weight must be positive")
         if self._n == len(self._weights):
             self._grow()
@@ -117,6 +173,9 @@ class FlowTable:
         self._weights[idx] = weight
         self._ids[idx] = flow_id
         self._index_of[flow_id] = idx
+        for column in self._columns:
+            column._data[idx] = column.default
+        self._bottleneck._data[idx] = self.links.capacity[route].min()
         self._n += 1
         self.version += 1
         return idx
@@ -131,11 +190,91 @@ class FlowTable:
             moved_id = self._ids[last]
             self._ids[idx] = moved_id
             self._index_of[moved_id] = idx
+            for column in self._columns:
+                column._data[idx] = column._data[last]
         self._ids[last] = None
         self._routes[last, :] = self.pad_link
         self._n -= 1
         self.version += 1
         return idx
+
+    def apply_churn(self, starts=(), ends=()):
+        """Batched churn: remove ``ends``, then add ``starts``.
+
+        ``ends`` is an iterable of flow ids; ``starts`` of
+        ``(flow_id, route)`` or ``(flow_id, route, weight)`` tuples.
+        Removing first means an id appearing in both is restarted
+        (fresh column state), matching flowlet end-then-start.  The
+        adds are validated as one vectorized batch and inserted with a
+        handful of slice assignments (one capacity check, one version
+        bump), which is how the simulation and real-time drivers
+        amortize bookkeeping across many flowlet events per allocator
+        tick.  Removals are applied before the batch is validated, so
+        a bad start leaves the ends done and no start applied.
+        """
+        for flow_id in ends:
+            self.remove_flow(flow_id)
+        starts = list(starts)
+        if not starts:
+            return
+        k = len(starts)
+        route_mat = np.full((k, self.max_route_len), self.pad_link,
+                            dtype=np.int64)
+        weights = np.ones(k, dtype=np.float64)
+        lengths = np.empty(k, dtype=np.int64)
+        ids = []
+        batch_ids = set()
+        for j, start in enumerate(starts):
+            if len(start) == 3:
+                flow_id, route, weights[j] = start
+            else:
+                flow_id, route = start
+            if flow_id in batch_ids:
+                raise KeyError(f"flow {flow_id!r} is already active")
+            route = self._check_new_flow(flow_id, route)
+            batch_ids.add(flow_id)
+            ids.append(flow_id)
+            lengths[j] = len(route)
+            route_mat[j, : len(route)] = route
+        real = np.arange(self.max_route_len) < lengths[:, None]
+        if np.any(real & ((route_mat < 0)
+                          | (route_mat >= self.links.n_links))):
+            raise ValueError("route contains an unknown link index")
+        if not np.all(weights > 0):
+            raise ValueError("flow weight must be positive")
+
+        self.reserve(self._n + k)
+        n0 = self._n
+        block = slice(n0, n0 + k)
+        self._routes[block] = route_mat
+        self._weights[block] = weights
+        for column in self._columns:
+            column._data[block] = column.default
+        padded = self.pad(self.links.capacity, pad_value=np.inf)
+        self._bottleneck._data[block] = padded[route_mat].min(axis=1)
+        self._ids[n0: n0 + k] = ids
+        for j, flow_id in enumerate(ids):
+            self._index_of[flow_id] = n0 + j
+        self._n += k
+        self.version += 1
+
+    def reserve(self, n_flows):
+        """Pre-grow storage to hold ``n_flows`` without reallocation."""
+        while len(self._weights) < n_flows:
+            self._grow()
+
+    def refresh_capacity(self):
+        """Mark capacity-derived per-flow caches stale after link
+        capacities were changed in place (§7 external traffic).
+
+        O(1): the bottleneck column is recomputed lazily at the next
+        :meth:`bottleneck_capacity` call, so a controller folding in
+        many per-link observations per tick pays one sweep, not one
+        per observation.  Bumps ``version`` so optimizer-side caches
+        invalidate too.
+        """
+        self._capacity_dirty = True
+        self.version += 1
 
     def _grow(self):
         new_cap = max(_INITIAL_CAPACITY, 2 * len(self._weights))
@@ -146,6 +285,11 @@ class FlowTable:
         ids = [None] * new_cap
         ids[: self._n] = self._ids[: self._n]
         self._routes, self._weights, self._ids = routes, weights, ids
+        for column in self._columns:
+            data = np.full(new_cap, column.default, dtype=column._data.dtype)
+            data[: self._n] = column._data[: self._n]
+            column._data = data
+        self._scratch = np.empty(new_cap * self.max_route_len)
 
     # ------------------------------------------------------------------
     # queries (views aligned with positional order)
@@ -202,8 +346,13 @@ class FlowTable:
         ``prices`` has one entry per real link; the pad link counts as
         price zero.
         """
+        n = self._n
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
         padded = self.pad(prices)
-        return padded[self.routes].sum(axis=1)
+        buf = self._scratch[: n * self.max_route_len]
+        np.take(padded, self._routes[:n].reshape(-1), out=buf)
+        return buf.reshape(n, self.max_route_len).sum(axis=1)
 
     def link_totals(self, per_flow):
         """Scatter per-flow values onto links: ``out[l] = sum_{s in S(l)} v_s``.
@@ -214,12 +363,11 @@ class FlowTable:
         n = self._n
         if n == 0:
             return np.zeros(self.links.n_links, dtype=np.float64)
-        contributions = np.repeat(
-            np.asarray(per_flow, dtype=np.float64), self.max_route_len
-        )
+        buf = self._scratch[: n * self.max_route_len].reshape(n, -1)
+        buf[:] = np.asarray(per_flow, dtype=np.float64).reshape(n, 1)
         totals = np.bincount(
-            self._routes[:n].ravel(),
-            weights=contributions,
+            self._routes[:n].reshape(-1),
+            weights=buf.reshape(-1),
             minlength=self.links.n_links + 1,
         )
         return totals[:-1]  # drop the pad link
@@ -231,8 +379,13 @@ class FlowTable:
         link's ratio.  The pad link contributes ``-inf`` so it never
         wins the max.
         """
+        n = self._n
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
         padded = self.pad(per_link, pad_value=-np.inf)
-        return padded[self.routes].max(axis=1)
+        buf = self._scratch[: n * self.max_route_len]
+        np.take(padded, self._routes[:n].reshape(-1), out=buf)
+        return buf.reshape(n, self.max_route_len).max(axis=1)
 
     def flows_on_link(self, link):
         """Positional indices of flows traversing ``link`` (test aid)."""
@@ -243,11 +396,22 @@ class FlowTable:
 
         No feasible allocation can give a flow more than this, so
         optimizers cap the Equation-3 rates at it — the physical
-        counterpart is the sender NIC line rate.
+        counterpart is the sender NIC line rate.  Maintained
+        incrementally under churn, so this is O(1) except on the
+        first read after :meth:`refresh_capacity`; the returned view
+        is read-only and valid until the next churn event or capacity
+        refresh.
         """
-        inverse = 1.0 / self.links.capacity
-        worst = self.max_link_value(inverse)
-        return 1.0 / np.maximum(worst, 1e-300)
+        n = self._n
+        if self._capacity_dirty:
+            if n:
+                padded = self.pad(self.links.capacity, pad_value=np.inf)
+                self._bottleneck._data[:n] = \
+                    padded[self._routes[:n]].min(axis=1)
+            self._capacity_dirty = False
+        view = self._bottleneck._data[: self._n]
+        view.flags.writeable = False
+        return view
 
     def clone(self):
         """Deep copy with the same flows (used to solve for the optimum

@@ -63,6 +63,12 @@ class PriceOptimizer:
         self._cap_cache_version = -1
         self._cap_cache = None
         self._price_at_cap_cache = None
+        # Within one (rate + price) iteration the prices don't change
+        # between the Equation-3 rate update and the Equation-4 price
+        # update, so the per-flow price sums are computed once and
+        # shared (NED's Hessian diagonal needs the very same rho).
+        self._rho_memo = None
+        self._rho_memo_active = False
 
     def _rate_caps(self):
         if self._cap_cache_version != self.table.version:
@@ -76,22 +82,31 @@ class PriceOptimizer:
         """Re-read link capacities after an external change (§7).
 
         Subclasses with capacity-derived state (NED's idle prices)
-        extend this; the base invalidates the per-flow cap cache.
+        extend this; the base invalidates the per-flow cap cache and
+        the table's incremental bottleneck-capacity column.
         """
         self._cap_cache_version = -1
+        self.table.refresh_capacity()
 
     def effective_price_sums(self, prices=None):
         """Per-flow price sums, clamped at each flow's cap price.
 
         This is the operating point at which both Equation 3 rates and
-        the Equation 4 Hessian diagonal are evaluated.
+        the Equation 4 Hessian diagonal are evaluated.  Inside
+        :meth:`iterate` the result for the current prices is memoized,
+        so the rate and price updates share one gather.
         """
+        use_memo = prices is None and self._rho_memo_active
+        if use_memo and self._rho_memo is not None:
+            return self._rho_memo
         if prices is None:
             prices = self.prices
         rho = self.table.price_sums(prices)
         if self.cap_rates and len(rho):
             self._rate_caps()  # refresh cache
             rho = np.maximum(rho, self._price_at_cap_cache)
+        if use_memo:
+            self._rho_memo = rho
         return rho
 
     # ------------------------------------------------------------------
@@ -117,8 +132,14 @@ class PriceOptimizer:
         """
         rates = np.zeros(self.table.n_flows)
         for _ in range(n):
-            rates = self.rate_update()
-            self._update_prices(rates)
+            self._rho_memo = None
+            self._rho_memo_active = True
+            try:
+                rates = self.rate_update()
+                self._update_prices(rates)
+            finally:
+                self._rho_memo_active = False
+                self._rho_memo = None
             self.iterations += 1
         return rates
 

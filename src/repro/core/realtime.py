@@ -45,13 +45,23 @@ def fast_reciprocal(values):
 class _Float32RateMixin:
     """float32 rate update with approximate reciprocals (shared by RTs)."""
 
+    _w32_version = -1
+    _w32 = None
+
+    def _weights32(self):
+        # float32 copy of the weight vector, cached between churn
+        # events (the real-time path must not allocate per iteration).
+        if self._w32_version != self.table.version:
+            self._w32 = self.table.weights.astype(np.float32)
+            self._w32_version = self.table.version
+        return self._w32
+
     def rate_update(self, prices=None):
         # Same kinked operating point as the reference (see
         # PriceOptimizer), but float32 with approximate reciprocals.
         rho = self.effective_price_sums(prices).astype(np.float32)
-        weights = self.table.weights.astype(np.float32)
-        rho = np.maximum(rho, np.float32(1e-9))
-        return (weights * fast_reciprocal(rho)).astype(np.float32)
+        np.maximum(rho, np.float32(1e-9), out=rho)
+        return self._weights32() * fast_reciprocal(rho)
 
 
 class NedRtOptimizer(_Float32RateMixin, NedOptimizer):

@@ -16,7 +16,7 @@ free in the slot.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import OrderedDict
 
 __all__ = ["FastpassArbiter", "TIMESLOT_BYTES"]
 

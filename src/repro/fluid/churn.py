@@ -174,10 +174,11 @@ class FluidSimulator:
     # per-tick phases
     # ------------------------------------------------------------------
     def _admit_arrivals(self, metrics, measuring):
+        starts = []
         for arrival in self.generator.arrivals_until(self._now):
             route = self.topology.route(arrival.src, arrival.dst,
                                         arrival.flow_id)
-            self.allocator.flowlet_start(arrival.flow_id, route)
+            starts.append((arrival.flow_id, route))
             self._active[arrival.flow_id] = FluidFlowRecord(
                 flow_id=arrival.flow_id, src=arrival.src, dst=arrival.dst,
                 arrival=arrival.time, size_bytes=arrival.size_bytes,
@@ -185,6 +186,8 @@ class FluidSimulator:
             if measuring:
                 metrics.n_start_messages += 1
                 metrics.bytes_to_allocator += wire_bytes(FLOWLET_START_BYTES)
+        if starts:
+            self.allocator.apply_churn(starts=starts)
 
     def _account_updates(self, result, metrics, measuring):
         if result.updates:
@@ -212,12 +215,13 @@ class FluidSimulator:
         for flow_id in finished:
             record = self._active.pop(flow_id)
             record.completion = self._now
-            self.allocator.flowlet_end(flow_id)
             self._notified_rates.pop(flow_id, None)
             if measuring:
                 metrics.completed.append(record)
                 metrics.n_end_messages += 1
                 metrics.bytes_to_allocator += wire_bytes(FLOWLET_END_BYTES)
+        if finished:
+            self.allocator.apply_churn(ends=finished)
 
     def _sample(self, result, metrics, tick_index):
         rates = np.asarray(result.rate_vector)

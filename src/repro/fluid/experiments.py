@@ -9,8 +9,6 @@ tiny scale.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.allocator import FlowtuneAllocator
 from ..core.fgm import FgmOptimizer
 from ..core.gradient import GradientOptimizer

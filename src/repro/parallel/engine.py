@@ -22,7 +22,7 @@ cycle estimates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -68,6 +68,10 @@ class _Processor:
         self.prices = np.ones(links.n_links, dtype=np.float64)
         self.partial_load = None
         self.partial_hessian = None
+        # Per-flow price floor U'(bottleneck), cached between churn
+        # events (same role as PriceOptimizer's cap cache).
+        self.price_floor = None
+        self.floor_version = -1
 
 
 class MulticoreNedEngine:
@@ -138,9 +142,7 @@ class MulticoreNedEngine:
             max_flows = max(max_flows, table.n_flows)
             if table.n_flows:
                 rho = table.price_sums(proc.prices)
-                caps = table.bottleneck_capacity()
-                rho = np.maximum(rho, self.utility.inverse_rate(
-                    caps, table.weights))
+                rho = np.maximum(rho, self._price_floor(proc))
                 rates = self.utility.rate(rho, table.weights)
                 derivative = self.utility.rate_derivative(rho, table.weights)
                 proc.partial_load = table.link_totals(rates)
@@ -198,6 +200,15 @@ class MulticoreNedEngine:
                         cpu_of(t.dst, self.grid_side):
                     stats.inter_cpu_messages += 1
 
+    def _price_floor(self, proc):
+        """Cached per-flow cap prices for one processor's FlowBlock."""
+        table = proc.table
+        if proc.floor_version != table.version:
+            proc.price_floor = self.utility.inverse_rate(
+                table.bottleneck_capacity(), table.weights)
+            proc.floor_version = table.version
+        return proc.price_floor
+
     def _price_update(self, proc, link_idx):
         """NED Equation 4 on one LinkBlock of the authoritative holder."""
         over = proc.partial_load[link_idx] - self.links.capacity[link_idx]
@@ -222,9 +233,7 @@ class MulticoreNedEngine:
             if not table.n_flows:
                 continue
             rho = table.price_sums(proc.prices)
-            caps = table.bottleneck_capacity()
-            rho = np.maximum(rho, self.utility.inverse_rate(
-                caps, table.weights))
+            rho = np.maximum(rho, self._price_floor(proc))
             rates = self.utility.rate(rho, table.weights)
             out.update(zip(table.flow_ids(), (float(r) for r in rates)))
         return out

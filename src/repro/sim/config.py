@@ -11,7 +11,7 @@ RTTs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["SimConfig", "SCHEMES"]
 

@@ -77,8 +77,8 @@ class Topology:
     def link_set(self):
         """The :class:`~repro.core.network.LinkSet` view for NUM."""
         return LinkSet(
-            np.array([l.capacity for l in self.links]),
-            names=[f"{l.src}->{l.dst}" for l in self.links],
+            np.array([link.capacity for link in self.links]),
+            names=[f"{link.src}->{link.dst}" for link in self.links],
         )
 
     def route(self, src_host: int, dst_host: int, flow_id=0):
@@ -92,8 +92,8 @@ class Topology:
     def bisection_capacity(self):
         """Sum of host access-link capacity — the paper's "network
         capacity" denominator for control-overhead fractions."""
-        return float(sum(l.capacity for l in self.links
-                         if l.kind is LinkKind.HOST_UP))
+        return float(sum(link.capacity for link in self.links
+                         if link.kind is LinkKind.HOST_UP))
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (f"{type(self).__name__}(n_hosts={self.n_hosts}, "

@@ -11,6 +11,30 @@ def make_allocator(**kwargs):
     return FlowtuneAllocator(LinkSet([10.0, 10.0]), **kwargs)
 
 
+class ScriptedOptimizer:
+    """Test double returning a controllable rate per flow id, so
+    notification logic can be exercised with exact rate sequences."""
+
+    def __init__(self, table, utility=None):
+        self.table = table
+        self.rates = {}
+        self.default = 1.0
+
+    def iterate(self, n=1):
+        return np.array([float(self.rates.get(fid, self.default))
+                         for fid in self.table.flow_ids()])
+
+    rate_update = iterate
+
+
+def make_scripted(threshold=0.5):
+    allocator = FlowtuneAllocator(LinkSet([10.0, 10.0]),
+                                  optimizer_cls=ScriptedOptimizer,
+                                  normalizer=NullNormalizer(),
+                                  update_threshold=threshold)
+    return allocator, allocator.optimizer
+
+
 class TestLifecycle:
     def test_new_flow_always_notified(self):
         allocator = make_allocator()
@@ -87,6 +111,109 @@ class TestThreshold:
         allocator.flowlet_start("b", [0])
         result = allocator.iterate(1)
         assert {u.flow_id for u in result.updates} == {"a", "b"}
+
+
+class TestNotificationEdgeCases:
+    """The §6.4 threshold filter under churn, driven by exact rates."""
+
+    def test_readded_flow_with_same_rate_is_renotified(self):
+        allocator, opt = make_scripted(threshold=0.5)
+        opt.rates["a"] = 1.0
+        allocator.flowlet_start("a", [0])
+        allocator.iterate(1)
+        assert allocator.iterate(1).updates == []   # steady state
+        allocator.flowlet_end("a")
+        allocator.flowlet_start("a", [0])           # same id, same rate
+        result = allocator.iterate(1)
+        assert [u.flow_id for u in result.updates] == ["a"]
+
+    def test_zero_to_positive_transition_notified(self):
+        allocator, opt = make_scripted(threshold=0.5)
+        opt.rates["a"] = 0.0
+        allocator.flowlet_start("a", [0])
+        result = allocator.iterate(1)
+        assert [u.rate for u in result.updates] == [0.0]
+        assert allocator.iterate(1).updates == []
+        # A relative threshold can never fire from last=0; the
+        # explicit zero->positive rule must.
+        opt.rates["a"] = 1e-6
+        result = allocator.iterate(1)
+        assert [u.flow_id for u in result.updates] == ["a"]
+        assert allocator.current_rates()["a"] == 1e-6
+
+    def test_within_threshold_move_suppressed(self):
+        allocator, opt = make_scripted(threshold=0.5)
+        opt.rates["a"] = 1.0
+        allocator.flowlet_start("a", [0])
+        allocator.iterate(1)
+        opt.rates["a"] = 1.4                        # +40% < 50%
+        assert allocator.iterate(1).updates == []
+        opt.rates["a"] = 2.2                        # beyond 50% of 1.0
+        assert [u.rate for u in allocator.iterate(1).updates] == [2.2]
+
+    def test_zero_threshold_unchanged_rate_not_renotified(self):
+        allocator, opt = make_scripted(threshold=0.0)
+        opt.rates["a"] = 2.0
+        allocator.flowlet_start("a", [0])
+        allocator.iterate(1)
+        assert allocator.iterate(1).updates == []   # identical rate
+        opt.rates["a"] = 2.0 + 1e-12                # any move notifies
+        assert len(allocator.iterate(1).updates) == 1
+
+    def test_last_sent_alignment_survives_swap_remove(self):
+        allocator, opt = make_scripted(threshold=0.5)
+        for fid, rate in zip("abcd", (1.0, 2.0, 3.0, 4.0)):
+            opt.rates[fid] = rate
+            allocator.flowlet_start(fid, [0])
+        allocator.iterate(1)
+        # Removing "b" swap-moves "d" into its slot; every survivor's
+        # last_sent must move with it, so unchanged rates stay silent.
+        allocator.flowlet_end("b")
+        assert allocator.iterate(1).updates == []
+        assert allocator.current_rates() == {"a": 1.0, "c": 3.0, "d": 4.0}
+        opt.rates["d"] = 40.0
+        result = allocator.iterate(1)
+        assert [u.flow_id for u in result.updates] == ["d"]
+
+    def test_update_indices_align_with_flow_ids(self):
+        allocator, opt = make_scripted(threshold=0.5)
+        for fid in "abc":
+            allocator.flowlet_start(fid, [0])
+        result = allocator.iterate(1)
+        assert [result.flow_ids[i] for i in result.update_indices] == \
+            [u.flow_id for u in result.updates]
+
+    def test_apply_churn_restarts_id_in_both_lists(self):
+        allocator, opt = make_scripted(threshold=0.5)
+        opt.rates["a"] = 1.0
+        allocator.apply_churn(starts=[("a", [0])])
+        allocator.iterate(1)
+        assert allocator.iterate(1).updates == []
+        allocator.apply_churn(starts=[("a", [1])], ends=["a"])
+        result = allocator.iterate(1)
+        assert [u.flow_id for u in result.updates] == ["a"]
+        assert list(allocator.table.route_of("a")) == [1]
+
+    def test_apply_churn_batch_matches_sequential(self):
+        """Batched churn must land in the same positional order (and
+        therefore the same rates) as the per-event calls it replaces."""
+        batched = make_allocator()
+        sequential = make_allocator()
+        for i in range(8):
+            batched.flowlet_start(i, [i % 2])
+            sequential.flowlet_start(i, [i % 2])
+        batched.iterate(3)
+        sequential.iterate(3)
+        sequential.flowlet_end(2)
+        sequential.flowlet_end(5)
+        for i in (8, 9):
+            sequential.flowlet_start(i, [i % 2])
+        batched.apply_churn(starts=[(8, [0]), (9, [1])], ends=[2, 5])
+        r_batched = batched.iterate(2)
+        r_sequential = sequential.iterate(2)
+        assert r_batched.flow_ids == r_sequential.flow_ids
+        assert np.array_equal(np.asarray(r_batched.rate_vector),
+                              np.asarray(r_sequential.rate_vector))
 
 
 class TestConfigurability:

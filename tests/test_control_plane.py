@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.control.allocator_node import MAX_ORPHAN_TICKS
 from repro.sim import MSS_BYTES
 from repro.sim.experiments import build_network
 
@@ -50,6 +51,70 @@ class TestNotifications:
         network.sim.run()
         assert network.stats.control_bytes_to_allocator > 0
         assert network.stats.control_bytes_from_allocator > 0
+
+
+class TestOrphanEnds:
+    """The ARQ can reorder a retransmitted start behind its end; the
+    allocator parks such ends and must consume them exactly once."""
+
+    def test_end_before_start_then_restart(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        node = network.allocator_device
+        node._inbox.append(("end", ("f",)))
+        node._apply_inbox()
+        assert "f" not in node.allocator
+        assert "f" in node._orphan_ends
+        # The delayed start lands next tick; the parked end cancels it.
+        node._inbox.append(("start", ("f", 0, 5)))
+        node._apply_inbox()
+        assert "f" not in node.allocator
+        # The orphan was consumed by that cancellation: a later
+        # flowlet reusing the id must be admitted normally.
+        node._inbox.append(("start", ("f", 0, 5)))
+        node._apply_inbox()
+        assert "f" in node.allocator
+        assert "f" not in node._orphan_ends
+
+    def test_consumed_orphan_not_resurrected_by_same_tick_cancel(
+            self, tiny_clos):
+        """A short flowlet (start+end in one tick) consumes a parked
+        orphan; the orphan's injected retry in that same inbox must
+        not re-park itself and swallow the next restart."""
+        network = build_network("flowtune", topology=tiny_clos)
+        node = network.allocator_device
+        node._inbox.append(("end", ("f",)))
+        node._apply_inbox()
+        assert "f" in node._orphan_ends
+        node._inbox.append(("start", ("f", 0, 5)))
+        node._inbox.append(("end", ("f",)))
+        node._apply_inbox()
+        assert "f" not in node.allocator
+        assert "f" not in node._orphan_ends
+        node._inbox.append(("start", ("f", 0, 5)))
+        node._apply_inbox()
+        assert "f" in node.allocator
+
+    def test_orphan_end_gives_up_eventually(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        node = network.allocator_device
+        node._inbox.append(("end", ("f",)))
+        node._apply_inbox()
+        for _ in range(MAX_ORPHAN_TICKS):
+            node._apply_inbox()
+        assert "f" not in node._orphan_ends
+
+    def test_start_end_same_tick_nets_out(self, tiny_clos):
+        network = build_network("flowtune", topology=tiny_clos)
+        node = network.allocator_device
+        node._inbox.append(("start", ("f", 0, 5)))
+        node._inbox.append(("end", ("f",)))
+        node._apply_inbox()
+        assert "f" not in node.allocator
+        assert "f" not in node._orphan_ends
+        # And the id is immediately reusable.
+        node._inbox.append(("start", ("f", 0, 5)))
+        node._apply_inbox()
+        assert "f" in node.allocator
 
 
 class TestAllocation:

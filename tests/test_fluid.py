@@ -1,12 +1,11 @@
 """Fluid flowlet-level simulator: conservation and metric plumbing."""
 
-import numpy as np
 import pytest
 
 from repro.core import NullNormalizer
 from repro.core.gradient import GradientOptimizer
-from repro.fluid import (FluidSimulator, build_fluid_setup,
-                         measure_update_traffic, normalization_throughput,
+from repro.fluid import (build_fluid_setup, measure_update_traffic,
+                         normalization_throughput,
                          over_allocation_by_algorithm, threshold_reduction)
 
 SCALE = dict(n_racks=2, hosts_per_rack=4, n_spines=2)

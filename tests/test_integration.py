@@ -1,9 +1,8 @@
 """Cross-module integration: full experiment pipelines at small scale."""
 
-import numpy as np
 import pytest
 
-from repro.analysis import (flow_rates, normalized_fcts, p99_by_bin,
+from repro.analysis import (flow_rates, normalized_fcts,
                             relative_fairness, speedup_by_bin)
 from repro.sim.experiments import (convergence_experiment, fct_experiment)
 

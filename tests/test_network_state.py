@@ -84,6 +84,115 @@ class TestChurn:
         assert copy.weights[copy.index_of("a")] == 2.0
 
 
+class TestBatchChurn:
+    def test_apply_churn_adds_and_removes(self):
+        table = make_table()
+        table.add_flow("a", [0])
+        table.add_flow("b", [1])
+        table.apply_churn(starts=[("c", [2]), ("d", [3], 2.0)],
+                          ends=["a"])
+        assert set(table.flow_ids()) == {"b", "c", "d"}
+        assert table.weights[table.index_of("d")] == 2.0
+        assert list(table.route_of("c")) == [2]
+
+    def test_apply_churn_one_version_bump_per_add_batch(self):
+        table = make_table()
+        v0 = table.version
+        table.apply_churn(starts=[(i, [0]) for i in range(10)])
+        assert table.version == v0 + 1
+
+    def test_apply_churn_duplicate_in_batch_rejected(self):
+        table = make_table()
+        with pytest.raises(KeyError):
+            table.apply_churn(starts=[("a", [0]), ("a", [1])])
+
+    def test_apply_churn_duplicate_of_active_rejected(self):
+        table = make_table()
+        table.add_flow("a", [0])
+        with pytest.raises(KeyError):
+            table.apply_churn(starts=[("a", [1])])
+
+    def test_apply_churn_validates_before_inserting(self):
+        table = make_table(n_links=3)
+        table.add_flow("old", [0])
+        with pytest.raises(ValueError):
+            table.apply_churn(starts=[("x", [1]), ("y", [7])],
+                              ends=["old"])
+        # ends applied, no start applied — the batch was rejected whole.
+        assert table.flow_ids() == []
+
+    def test_apply_churn_rejects_bad_routes_and_weights(self):
+        table = make_table(max_route_len=2)
+        with pytest.raises(ValueError):
+            table.apply_churn(starts=[("a", [])])
+        with pytest.raises(ValueError):
+            table.apply_churn(starts=[("a", [0, 1, 2])])
+        with pytest.raises(ValueError):
+            table.apply_churn(starts=[("a", [0], -1.0)])
+        assert table.n_flows == 0
+
+    def test_apply_churn_grows_past_capacity(self):
+        table = make_table(n_links=4)
+        table.apply_churn(starts=[(i, [i % 4]) for i in range(300)])
+        assert table.n_flows == 300
+        assert list(table.route_of(250)) == [250 % 4]
+        assert np.allclose(table.bottleneck_capacity(), 10.0)
+
+    def test_batch_bottleneck_matches_incremental(self):
+        links = LinkSet([10.0, 4.0, 40.0])
+        batched = FlowTable(links)
+        single = FlowTable(links)
+        routes = [[0, 1], [2], [0, 2], [1, 2]]
+        batched.apply_churn(starts=[(i, r) for i, r in enumerate(routes)])
+        for i, r in enumerate(routes):
+            single.add_flow(i, r)
+        assert np.array_equal(batched.bottleneck_capacity(),
+                              single.bottleneck_capacity())
+
+
+class TestFlowColumns:
+    def test_column_tracks_default_and_swap_remove(self):
+        table = make_table()
+        column = table.add_column(default=-1.0)
+        table.add_flow("a", [0])
+        table.add_flow("b", [1])
+        table.add_flow("c", [2])
+        column.data[:] = [10.0, 20.0, 30.0]
+        table.remove_flow("a")        # "c" swaps into slot 0
+        assert column.data[table.index_of("c")] == 30.0
+        assert column.data[table.index_of("b")] == 20.0
+        table.add_flow("d", [3])
+        assert column.data[table.index_of("d")] == -1.0
+
+    def test_column_survives_growth(self):
+        table = make_table(n_links=4)
+        column = table.add_column(default=0.0)
+        for i in range(10):
+            table.add_flow(i, [i % 4])
+        column.data[:] = np.arange(10.0)
+        for i in range(10, 200):      # force several _grow() cycles
+            table.add_flow(i, [i % 4])
+        assert np.array_equal(column.data[:10], np.arange(10.0))
+        assert np.all(column.data[10:] == 0.0)
+
+    def test_column_reset_by_batch_add(self):
+        table = make_table()
+        column = table.add_column(default=7.0, dtype=np.float64)
+        table.apply_churn(starts=[("a", [0]), ("b", [1])])
+        assert np.all(column.data == 7.0)
+
+    def test_bottleneck_refresh_after_capacity_change(self):
+        links = LinkSet([10.0, 4.0])
+        table = FlowTable(links)
+        table.add_flow("a", [0, 1])
+        assert table.bottleneck_capacity()[0] == 4.0
+        links.capacity[1] = 20.0
+        v0 = table.version
+        table.refresh_capacity()
+        assert table.version == v0 + 1
+        assert table.bottleneck_capacity()[0] == 10.0
+
+
 class TestKernels:
     def test_price_sums_sum_along_routes(self):
         table = make_table()

@@ -5,8 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (FgmOptimizer, FlowTable, GradientOptimizer, LinkSet,
-                        LogUtility, NedOptimizer, NewtonLikeOptimizer,
-                        solve_to_optimal)
+                        NedOptimizer, NewtonLikeOptimizer, solve_to_optimal)
 from repro.core.utility import AlphaFairUtility
 
 

@@ -1,6 +1,5 @@
 """Transport behaviours: reliability, window laws, per-scheme quirks."""
 
-import numpy as np
 import pytest
 
 from repro.sim import MSS_BYTES
