@@ -26,6 +26,11 @@ __all__ = ["LinkSet", "FlowTable", "FlowColumn"]
 _INITIAL_CAPACITY = 64
 
 
+def _numpy_allocator(tag, shape, dtype):
+    """Default storage: ordinary process-local numpy arrays."""
+    return np.empty(shape, dtype=dtype)
+
+
 class FlowColumn:
     """A per-flow scalar array kept positionally aligned with a
     :class:`FlowTable` under swap-remove churn.
@@ -42,7 +47,9 @@ class FlowColumn:
     def __init__(self, table, default, dtype):
         self._table = table
         self.default = default
-        self._data = np.full(len(table._weights), default, dtype=dtype)
+        self._data = table._alloc(f"column{len(table._columns)}",
+                                  (len(table._weights),), dtype)
+        self._data[:] = default
 
     @property
     def data(self):
@@ -93,23 +100,32 @@ class FlowTable:
     current positional order, and :meth:`flow_ids` exposes that order.
     """
 
-    def __init__(self, links: LinkSet, max_route_len: int = 8):
+    def __init__(self, links: LinkSet, max_route_len: int = 8,
+                 allocator=None):
         if max_route_len < 1:
             raise ValueError("max_route_len must be at least 1")
         self.links = links
         self.max_route_len = int(max_route_len)
         self.pad_link = links.n_links  # virtual link used for padding
-        self._routes = np.full(
-            (_INITIAL_CAPACITY, self.max_route_len), self.pad_link, dtype=np.int64
-        )
-        self._weights = np.ones(_INITIAL_CAPACITY, dtype=np.float64)
+        # Storage hook: routes, weights and every FlowColumn go through
+        # ``allocator(tag, shape, dtype)`` so a caller can back them
+        # with ``multiprocessing.shared_memory`` (the process-parallel
+        # NED backend) instead of private heap arrays.  Re-allocating
+        # an existing tag (on grow) supersedes the old array.
+        self._alloc = allocator if allocator is not None else _numpy_allocator
+        self._columns = []
+        self._routes = self._alloc(
+            "routes", (_INITIAL_CAPACITY, self.max_route_len), np.int64)
+        self._routes[:] = self.pad_link
+        self._weights = self._alloc("weights", (_INITIAL_CAPACITY,),
+                                    np.float64)
+        self._weights[:] = 1.0
         self._ids = [None] * _INITIAL_CAPACITY
         self._index_of = {}
         self._n = 0
         #: incremented on every add/remove; lets optimizers cache
         #: per-flow derived arrays between churn events.
         self.version = 0
-        self._columns = []
         # Scratch for the gather/scatter kernels: one flat
         # ``capacity x max_route_len`` float64 buffer reused by
         # price_sums / link_totals / max_link_value so the hot loop
@@ -198,6 +214,69 @@ class FlowTable:
         self.version += 1
         return idx
 
+    def remove_flows(self, flow_ids):
+        """Batched removal: the vectorized mirror of the batched add.
+
+        Validates the whole batch up front (an unknown or duplicated id
+        raises ``KeyError`` with *no* flow removed), then *simulates*
+        the per-id swap-remove chain with O(batch) dict bookkeeping —
+        no array writes — and applies the net movement as one
+        fancy-indexed gather per array.  The resulting positional
+        layout is exactly what sequential :meth:`remove_flow` calls in
+        the same order would produce (a property the drivers rely on
+        for cross-revision rate comparisons), every registered
+        :class:`FlowColumn` entry moves with its flow, and the whole
+        batch costs one version bump.
+        """
+        ids = list(flow_ids)
+        if not ids:
+            return
+        index_of = self._index_of
+        seen = set()
+        for flow_id in ids:
+            if flow_id not in index_of or flow_id in seen:
+                raise KeyError(f"flow {flow_id!r} is not active")
+            seen.add(flow_id)
+        # Simulate the swap chain: ``content`` maps slot -> original
+        # row now occupying it (only for moved rows), ``slot_of`` maps
+        # a moved original row -> its current slot.
+        content = {}
+        slot_of = {}
+        n = self._n
+        for flow_id in ids:
+            row = index_of[flow_id]
+            slot = slot_of.pop(row, row)
+            last = n - 1
+            last_row = content.pop(last, last)
+            if slot != last:
+                content[slot] = last_row
+                slot_of[last_row] = slot
+            n -= 1
+        new_n = n
+        if content:
+            holes = np.fromiter(content.keys(), dtype=np.int64,
+                                count=len(content))
+            movers = np.fromiter(content.values(), dtype=np.int64,
+                                 count=len(content))
+            # Sources are original tail rows (>= new_n), destinations
+            # are final slots (< new_n): disjoint, so one gather per
+            # array is safe.
+            self._routes[holes] = self._routes[movers]
+            self._weights[holes] = self._weights[movers]
+            for column in self._columns:
+                column._data[holes] = column._data[movers]
+        for flow_id in ids:
+            del index_of[flow_id]
+        if content:
+            for hole, mover in zip(holes.tolist(), movers.tolist()):
+                moved_id = self._ids[mover]
+                self._ids[hole] = moved_id
+                index_of[moved_id] = hole
+        self._ids[new_n: self._n] = [None] * (self._n - new_n)
+        self._routes[new_n: self._n] = self.pad_link
+        self._n = new_n
+        self.version += 1
+
     def apply_churn(self, starts=(), ends=()):
         """Batched churn: remove ``ends``, then add ``starts``.
 
@@ -209,11 +288,12 @@ class FlowTable:
         handful of slice assignments (one capacity check, one version
         bump), which is how the simulation and real-time drivers
         amortize bookkeeping across many flowlet events per allocator
-        tick.  Removals are applied before the batch is validated, so
-        a bad start leaves the ends done and no start applied.
+        tick.  Removals go through the batched :meth:`remove_flows`
+        (validated atomically) and are applied before the starts are
+        validated, so a bad start leaves the ends done and no start
+        applied.
         """
-        for flow_id in ends:
-            self.remove_flow(flow_id)
+        self.remove_flows(ends)
         starts = list(starts)
         if not starts:
             return
@@ -278,15 +358,20 @@ class FlowTable:
 
     def _grow(self):
         new_cap = max(_INITIAL_CAPACITY, 2 * len(self._weights))
-        routes = np.full((new_cap, self.max_route_len), self.pad_link, dtype=np.int64)
+        routes = self._alloc("routes", (new_cap, self.max_route_len),
+                             np.int64)
+        routes[self._n:] = self.pad_link
         routes[: self._n] = self._routes[: self._n]
-        weights = np.ones(new_cap, dtype=np.float64)
+        weights = self._alloc("weights", (new_cap,), np.float64)
+        weights[self._n:] = 1.0
         weights[: self._n] = self._weights[: self._n]
         ids = [None] * new_cap
         ids[: self._n] = self._ids[: self._n]
         self._routes, self._weights, self._ids = routes, weights, ids
-        for column in self._columns:
-            data = np.full(new_cap, column.default, dtype=column._data.dtype)
+        for i, column in enumerate(self._columns):
+            data = self._alloc(f"column{i}", (new_cap,),
+                               column._data.dtype)
+            data[self._n:] = column.default
             data[: self._n] = column._data[: self._n]
             column._data = data
         self._scratch = np.empty(new_cap * self.max_route_len)

@@ -47,6 +47,11 @@ class _Float32RateMixin:
 
     _w32_version = -1
     _w32 = None
+    #: preallocated float32 rho staging buffer — the real-time path
+    #: must not allocate per iteration, so the float64 price sums are
+    #: *cast into* this buffer instead of ``astype``-copied; it only
+    #: ever re-allocates when the flow population outgrows it.
+    _rho32 = None
 
     def _weights32(self):
         # float32 copy of the weight vector, cached between churn
@@ -56,10 +61,21 @@ class _Float32RateMixin:
             self._w32_version = self.table.version
         return self._w32
 
+    def _rho32_buffer(self, n):
+        buffer = self._rho32
+        if buffer is None or len(buffer) < n:
+            # Track the table's storage capacity so steady churn never
+            # triggers another allocation.
+            capacity = max(n, len(self.table._weights))
+            self._rho32 = buffer = np.empty(capacity, dtype=np.float32)
+        return buffer[:n]
+
     def rate_update(self, prices=None):
         # Same kinked operating point as the reference (see
         # PriceOptimizer), but float32 with approximate reciprocals.
-        rho = self.effective_price_sums(prices).astype(np.float32)
+        rho64 = self.effective_price_sums(prices)
+        rho = self._rho32_buffer(len(rho64))
+        np.copyto(rho, rho64, casting="same_kind")
         np.maximum(rho, np.float32(1e-9), out=rho)
         return self._weights32() * fast_reciprocal(rho)
 

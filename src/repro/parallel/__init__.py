@@ -6,9 +6,13 @@ from .aggregation import (Transfer, aggregation_schedule,
 from .blocks import BlockPartition
 from .cost_model import (CLOCK_GHZ, PAPER_TABLE, BenchConfig, CostModel,
                          PaperRow, cpu_of, fit_cost_model, step_breakdown)
-from .engine import IterationStats, MulticoreNedEngine
+from .engine import (IterationStats, MulticoreNedEngine, ParallelBackend,
+                     SimulatedBackend, ned_price_update)
+from .shm import SharedArena
 
 __all__ = ["BlockPartition", "MulticoreNedEngine", "IterationStats",
+           "ParallelBackend", "SimulatedBackend", "SharedArena",
+           "ned_price_update",
            "Transfer", "aggregation_schedule", "distribution_schedule",
            "final_up_holder", "final_down_holder", "BenchConfig",
            "CostModel", "PaperRow", "PAPER_TABLE", "fit_cost_model",

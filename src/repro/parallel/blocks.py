@@ -57,6 +57,19 @@ class BlockPartition:
     def n_processors(self):
         return self.n_blocks * self.n_blocks
 
+    def grid_cells(self):
+        """Row-major processor coordinates — the canonical cell order
+        shared by the engine and the process backend (shared-array row
+        ``i`` is ``grid_cells()[i]``)."""
+        n = self.n_blocks
+        return [(r, c) for r in range(n) for c in range(n)]
+
+    def link_block(self, block, upward):
+        """Link indices of one LinkBlock (the payload of a fig. 3
+        transfer): upward block ``block`` if ``upward`` else downward."""
+        return self.upward_links[block] if upward else \
+            self.downward_links[block]
+
     def block_of_host(self, host):
         """The rack group a host belongs to."""
         return self.topology.rack_of(host) // len(self.rack_groups[0])

@@ -18,6 +18,16 @@ The result is numerically identical (up to float associativity) to
 single-core NED — a property the test suite asserts — while the engine
 counts the work and communication that the §6.1 cost model turns into
 cycle estimates.
+
+Execution is pluggable behind :class:`ParallelBackend`:
+
+* ``backend="simulated"`` (default) runs every processor in this
+  process, exactly as described above — fast to construct, counts the
+  §6.1 work/communication stats, no real parallelism;
+* ``backend="process"`` runs the same phase structure on a persistent
+  pool of **worker processes** over shared-memory state (see
+  :mod:`repro.parallel.process_backend`), measuring *actual* parallel
+  speedup instead of modeling it.
 """
 
 from __future__ import annotations
@@ -34,7 +44,59 @@ from .aggregation import (aggregation_schedule, distribution_schedule,
 from .blocks import BlockPartition
 from .cost_model import cpu_of
 
-__all__ = ["IterationStats", "MulticoreNedEngine"]
+__all__ = ["IterationStats", "MulticoreNedEngine", "ParallelBackend",
+           "SimulatedBackend", "ned_price_update"]
+
+
+def ned_price_update(prices_row, load_row, hessian_row, link_idx,
+                     capacity, idle_price, gamma):
+    """NED Equation 4 on one LinkBlock, in place.
+
+    Factored out of the engine so the simulated and worker-process
+    backends run the *same float operations in the same order* — the
+    cross-backend equivalence suite leans on that.
+    """
+    over = load_row[link_idx] - capacity[link_idx]
+    hessian = hessian_row[link_idx]
+    prices = prices_row[link_idx]
+    carrying = hessian < 0.0
+    step = np.zeros_like(prices)
+    step[carrying] = over[carrying] / hessian[carrying]
+    new_prices = np.where(carrying, prices - gamma * step,
+                          idle_price[link_idx])
+    np.maximum(new_prices, 0.0, out=new_prices)
+    prices_row[link_idx] = new_prices
+
+
+class ParallelBackend:
+    """Execution strategy for :class:`MulticoreNedEngine` iterations."""
+
+    name = "base"
+
+    def run(self, n, stats):
+        """Execute ``n`` full iterations, accumulating into ``stats``."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release any resources (worker processes, shared memory)."""
+
+    def refresh_capacity(self):
+        """Republish capacity-derived state after
+        :meth:`MulticoreNedEngine.refresh_capacity`; no-op for
+        backends that read the engine's arrays directly."""
+
+
+class SimulatedBackend(ParallelBackend):
+    """In-process execution of the simulated processor grid."""
+
+    name = "simulated"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def run(self, n, stats):
+        for _ in range(n):
+            self.engine._iterate_once(stats)
 
 
 @dataclass
@@ -58,14 +120,23 @@ class IterationStats:
 
 
 class _Processor:
-    """One simulated core: a FlowBlock plus private LinkBlock copies."""
+    """One core's state: a FlowBlock plus private LinkBlock copies.
 
-    def __init__(self, coords, links, max_route_len):
+    For the simulated backend the table and price vector are ordinary
+    process-local arrays; the process backend passes in a shared-memory
+    FlowTable and a row view of the shared price matrix so the parent
+    and the owning worker see the same bytes.
+    """
+
+    def __init__(self, coords, links, max_route_len, table=None,
+                 prices=None):
         self.coords = coords
-        self.table = FlowTable(links, max_route_len=max_route_len)
+        self.table = (table if table is not None
+                      else FlowTable(links, max_route_len=max_route_len))
         # Private, full-length price vector; only entries of this
         # processor's two LinkBlocks are ever read.
-        self.prices = np.ones(links.n_links, dtype=np.float64)
+        self.prices = (prices if prices is not None
+                       else np.ones(links.n_links, dtype=np.float64))
         self.partial_load = None
         self.partial_hessian = None
         # Per-flow price floor U'(bottleneck), cached between churn
@@ -83,7 +154,8 @@ class MulticoreNedEngine:
     """
 
     def __init__(self, topology, n_blocks, utility=None, gamma=1.0,
-                 max_route_len=8):
+                 max_route_len=8, backend="simulated", n_workers=None,
+                 reserve_per_block=0):
         self.partition = BlockPartition(topology, n_blocks)
         self.links = topology.link_set()
         self.utility = utility if utility is not None else LogUtility()
@@ -91,10 +163,6 @@ class MulticoreNedEngine:
         self.max_route_len = max_route_len
         n = self.partition.n_blocks
         self.grid_side = n
-        self.processors = {
-            (r, c): _Processor((r, c), self.links, max_route_len)
-            for r in range(n) for c in range(n)
-        }
         self._agg_steps = aggregation_schedule(n)
         self._dist_steps = distribution_schedule(n)
         # Reference single-core optimizer state (prices) kept for the
@@ -103,6 +171,27 @@ class MulticoreNedEngine:
             self.utility.inverse_rate(self.links.capacity, 1.0),
             dtype=np.float64)
         self._flow_home = {}
+        if backend == "simulated":
+            if n_workers is not None:
+                raise ValueError("n_workers applies to backend='process'")
+            self.processors = {
+                cell: _Processor(cell, self.links, max_route_len)
+                for cell in self.partition.grid_cells()
+            }
+            if reserve_per_block:
+                for proc in self.processors.values():
+                    proc.table.reserve(int(reserve_per_block))
+            self.backend = SimulatedBackend(self)
+        elif backend == "process":
+            from .process_backend import ProcessBackend
+            # The backend allocates the shared state and populates
+            # ``self.processors`` with shm-backed tables/price rows.
+            self.backend = ProcessBackend(
+                self, n_workers=n_workers,
+                reserve_per_block=reserve_per_block)
+        else:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             "choose 'simulated' or 'process'")
 
     # ------------------------------------------------------------------
     # churn
@@ -119,6 +208,76 @@ class MulticoreNedEngine:
         coords = self._flow_home.pop(flow_id)
         self.processors[coords].table.remove_flow(flow_id)
 
+    def apply_churn(self, starts=(), ends=()):
+        """Batched flowlet churn routed to the owning FlowBlocks.
+
+        ``ends`` is an iterable of flow ids; ``starts`` of ``(flow_id,
+        src_host, dst_host)`` or ``(flow_id, src_host, dst_host,
+        weight)`` tuples (routes are computed here, like
+        :meth:`add_flow`).  The whole batch is validated before
+        anything mutates — a bad id or weight raises with the engine
+        unchanged.  Removals are applied first — batched per block
+        through :meth:`FlowTable.remove_flows` — then the adds go
+        through each block's vectorized ``apply_churn``, so an id
+        appearing in both is restarted.  Under the process backend the
+        block tables are shared memory, so a churn batch reaches the
+        workers without rebuilding any buffer; only a block outgrowing
+        its capacity triggers a (rare) re-attach message.
+        """
+        ends = list(ends)
+        ending = set()
+        for flow_id in ends:
+            if flow_id not in self._flow_home or flow_id in ending:
+                raise KeyError(f"flow {flow_id!r} is not active")
+            ending.add(flow_id)
+        starts_by_cell = {}
+        new_ids = set()
+        for start in starts:
+            flow_id, src_host, dst_host = start[:3]
+            weight = float(start[3]) if len(start) > 3 else 1.0
+            if flow_id in new_ids or (flow_id in self._flow_home
+                                      and flow_id not in ending):
+                raise KeyError(f"flow {flow_id!r} is already active")
+            if not weight > 0:
+                raise ValueError("flow weight must be positive")
+            route = self.partition.topology.route(src_host, dst_host,
+                                                  flow_id)
+            if len(route) > self.max_route_len:
+                raise ValueError(
+                    f"route has {len(route)} hops; engine supports "
+                    f"{self.max_route_len}")
+            new_ids.add(flow_id)
+            cell = self.partition.flowblock_of(src_host, dst_host)
+            starts_by_cell.setdefault(cell, []).append(
+                (flow_id, route, weight))
+        # Batch validated; now mutate.
+        ends_by_cell = {}
+        for flow_id in ends:
+            cell = self._flow_home.pop(flow_id)
+            ends_by_cell.setdefault(cell, []).append(flow_id)
+        for cell, cell_ends in ends_by_cell.items():
+            self.processors[cell].table.remove_flows(cell_ends)
+        for cell, cell_starts in starts_by_cell.items():
+            self.processors[cell].table.apply_churn(starts=cell_starts)
+            for flow_id, _, _ in cell_starts:
+                self._flow_home[flow_id] = cell
+
+    def refresh_capacity(self):
+        """Re-read link capacities after an in-place change (§7).
+
+        This is the supported way to change capacities under the
+        engine: it re-derives the idle-price constants, invalidates
+        every FlowBlock's capacity-derived caches, and (through the
+        backend) republishes capacity-derived state to worker
+        processes — mutating ``links.capacity`` without calling this
+        leaves the backends free to diverge.
+        """
+        self._idle_price[:] = self.utility.inverse_rate(
+            self.links.capacity, 1.0)
+        for proc in self.processors.values():
+            proc.table.refresh_capacity()
+        self.backend.refresh_capacity()
+
     @property
     def n_flows(self):
         return len(self._flow_home)
@@ -130,9 +289,20 @@ class MulticoreNedEngine:
         stats = IterationStats(
             n_processors=self.partition.n_processors,
             links_per_block=self.partition.links_per_block)
-        for _ in range(n):
-            self._iterate_once(stats)
+        self.backend.run(n, stats)
         return stats
+
+    def close(self):
+        """Shut down the backend (worker pool, shared memory); no-op
+        for the simulated backend.  The engine is unusable afterwards
+        if the backend held real resources."""
+        self.backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     def _iterate_once(self, stats):
         # Phase 1: local rate computation and partial accumulation.
@@ -159,8 +329,7 @@ class MulticoreNedEngine:
         for step in self._agg_steps:
             staged = []
             for t in step:
-                idx = (self.partition.upward_links[t.block] if t.upward
-                       else self.partition.downward_links[t.block])
+                idx = self.partition.link_block(t.block, t.upward)
                 src = self.processors[t.src]
                 staged.append((t, idx, src.partial_load[idx].copy(),
                                src.partial_hessian[idx].copy()))
@@ -189,8 +358,7 @@ class MulticoreNedEngine:
         for step in self._dist_steps:
             staged = []
             for t in step:
-                idx = (self.partition.upward_links[t.block] if t.upward
-                       else self.partition.downward_links[t.block])
+                idx = self.partition.link_block(t.block, t.upward)
                 staged.append((t, idx, self.processors[t.src].prices[idx].copy()))
             for t, idx, prices_part in staged:
                 self.processors[t.dst].prices[idx] = prices_part
@@ -211,16 +379,9 @@ class MulticoreNedEngine:
 
     def _price_update(self, proc, link_idx):
         """NED Equation 4 on one LinkBlock of the authoritative holder."""
-        over = proc.partial_load[link_idx] - self.links.capacity[link_idx]
-        hessian = proc.partial_hessian[link_idx]
-        prices = proc.prices[link_idx]
-        carrying = hessian < 0.0
-        step = np.zeros_like(prices)
-        step[carrying] = over[carrying] / hessian[carrying]
-        new_prices = np.where(carrying, prices - self.gamma * step,
-                              self._idle_price[link_idx])
-        np.maximum(new_prices, 0.0, out=new_prices)
-        proc.prices[link_idx] = new_prices
+        ned_price_update(proc.prices, proc.partial_load,
+                         proc.partial_hessian, link_idx,
+                         self.links.capacity, self._idle_price, self.gamma)
 
     # ------------------------------------------------------------------
     # inspection

@@ -1,0 +1,435 @@
+"""Worker-process execution of the multicore NED engine (§5-6.1).
+
+Where :class:`~repro.parallel.engine.SimulatedBackend` time-slices the
+``n x n`` processor grid inside one Python process, this backend runs
+it on a persistent pool of **real worker processes**:
+
+* each worker owns one or more FlowBlocks (grid cells, assigned
+  round-robin so worker counts that don't divide the grid still work);
+* all hot state lives in ``multiprocessing.shared_memory`` — the
+  per-cell flow columns (routes, weights, bottleneck capacities, via
+  :class:`~repro.core.network.FlowTable`'s allocator hook) and the
+  ``(n_processors, n_links)`` float64 price/load/Hessian matrices —
+  so churn applied by the parent is visible to workers without any
+  copying, and rate/price partials never cross a pipe;
+* one iteration follows the exact phase structure of the simulated
+  engine: local Equation-3 rate work, the fig. 3 diagonal aggregation
+  schedule with a **barrier per step**, the Equation-4 price update on
+  the authoritative diagonal holders, and the reverse distribution
+  schedule, again barriered per step.  Within a step every transfer
+  touches a disjoint LinkBlock slice, so workers apply their steps'
+  transfers concurrently without locks.
+
+Because both backends execute the same float operations in the same
+order (they share :func:`~repro.parallel.engine.ned_price_update` and
+the FlowTable gather/scatter kernels' reduction shapes), the process
+backend is numerically equivalent to the simulated engine — and hence
+to single-core NED — up to float associativity; the cross-backend test
+suite asserts this, churn included.
+
+Control flow: the parent drives workers over one pipe per worker
+(``("iterate", n)`` / ``("reattach", row, manifest)`` / ``("stop",)``)
+and workers synchronize among themselves with a shared barrier.  The
+pool requires the ``fork`` start method (Linux): workers inherit the
+shared mappings and the plan objects directly, and only re-attach by
+name when a churn batch outgrows a FlowBlock's capacity and the parent
+re-allocates its columns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import multiprocessing as mp
+
+import numpy as np
+
+from ..core.network import FlowTable
+from .engine import ParallelBackend, _Processor, ned_price_update
+from .cost_model import cpu_of
+from .shm import SharedArena, attach
+
+__all__ = ["ProcessBackend"]
+
+
+class _CellPlan:
+    """Worker-side handle on one owned grid cell's shared flow state."""
+
+    __slots__ = ("row", "routes", "weights", "bottleneck", "floor",
+                 "floor_version", "_keepalive")
+
+    def __init__(self, row, routes, weights, bottleneck):
+        self.row = row
+        self.routes = routes
+        self.weights = weights
+        self.bottleneck = bottleneck
+        self.floor = None
+        self.floor_version = -1
+        self._keepalive = None
+
+    def rebind(self, manifest):
+        """Re-attach after the parent re-allocated this cell's arrays
+        (FlowTable growth); the old fork-inherited views stay valid
+        until dropped, so swapping references is enough."""
+        arrays, keepalive = attach(manifest)
+        self.routes = arrays["routes"]
+        self.weights = arrays["weights"]
+        self.bottleneck = arrays["column0"]  # FlowTable's bottleneck
+        self._keepalive = keepalive
+
+
+def _compute_cell_rates(plan, shared, consts, scratch):
+    """Phase 1 for one cell: Equation-3 rates and G/H partials.
+
+    Mirrors the simulated engine's use of ``FlowTable.price_sums`` /
+    ``link_totals`` — same padded gather into a persistent scratch
+    buffer, same ``(n, L)`` axis-1 sum, same ``bincount`` scatter — so
+    the floats come out identical *and* the steady-state allocation
+    profile matches the single-core kernels (only the small reduction
+    outputs are allocated per iteration).
+    """
+    n = int(shared["counts"][plan.row])
+    load_row = shared["load"][plan.row]
+    hessian_row = shared["hessian"][plan.row]
+    if n == 0:
+        load_row[:] = 0.0
+        hessian_row[:] = 0.0
+        return
+    n_links = consts["n_links"]
+    utility = consts["utility"]
+    routes = plan.routes[:n]
+    weights = plan.weights[:n]
+    route_len = routes.shape[1]
+    flat = routes.reshape(-1)
+    gather = consts["gather"]
+    if len(gather) < n * route_len:
+        gather = consts["gather"] = np.empty(n * route_len)
+    buf = gather[: n * route_len]
+    scratch[:n_links] = shared["prices"][plan.row]
+    scratch[n_links] = 0.0  # pad link: price zero
+    np.take(scratch, flat, out=buf)
+    rho = buf.reshape(n, route_len).sum(axis=1)
+    version = int(shared["versions"][plan.row])
+    if plan.floor_version != version:
+        plan.floor = utility.inverse_rate(plan.bottleneck[:n], weights)
+        plan.floor_version = version
+    rho = np.maximum(rho, plan.floor)
+    rates = utility.rate(rho, weights)
+    derivative = utility.rate_derivative(rho, weights)
+    buf2d = buf.reshape(n, route_len)
+    buf2d[:] = rates.reshape(n, 1)
+    load_row[:] = np.bincount(flat, weights=buf,
+                              minlength=n_links + 1)[:-1]
+    buf2d[:] = derivative.reshape(n, 1)
+    hessian_row[:] = np.bincount(flat, weights=buf,
+                                 minlength=n_links + 1)[:-1]
+
+
+def _one_iteration(plans, shared, consts, barrier):
+    """One full engine iteration from a single worker's point of view.
+
+    Every worker waits at every step barrier (even with nothing to
+    send) so the phase structure — and therefore which partials each
+    transfer reads — matches the simulated engine exactly.
+    """
+    scratch = consts["scratch"]
+    for plan in plans:
+        _compute_cell_rates(plan, shared, consts, scratch)
+    barrier.wait()
+
+    load, hessian = shared["load"], shared["hessian"]
+    for step in consts["agg_plan"]:
+        for dst_row, src_row, idx in step:
+            load[dst_row, idx] += load[src_row, idx]
+            hessian[dst_row, idx] += hessian[src_row, idx]
+        barrier.wait()
+
+    prices = shared["prices"]
+    for row, idx in consts["price_plan"]:
+        ned_price_update(prices[row], load[row], hessian[row], idx,
+                         consts["capacity"], consts["idle_price"],
+                         consts["gamma"])
+    barrier.wait()
+
+    for step in consts["dist_plan"]:
+        for dst_row, src_row, idx in step:
+            prices[dst_row, idx] = prices[src_row, idx]
+        barrier.wait()
+
+
+def _worker_main(conn, barrier, plans, shared, consts):
+    """Command loop of one worker process."""
+    consts["scratch"] = np.empty(consts["n_links"] + 1, dtype=np.float64)
+    consts["gather"] = np.empty(0, dtype=np.float64)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "stop":
+                break
+            elif command == "reattach":
+                _, row, manifest = message
+                for plan in plans:
+                    if plan.row == row:
+                        plan.rebind(manifest)
+            elif command == "iterate":
+                for _ in range(message[1]):
+                    _one_iteration(plans, shared, consts, barrier)
+                conn.send(("done",))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown command {command!r}")
+    except Exception:  # noqa: BLE001 - forwarded to the parent
+        import traceback
+        barrier.abort()  # unblock peers; they error out and report too
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+
+
+class ProcessBackend(ParallelBackend):
+    """Persistent worker pool over shared-memory FlowBlocks.
+
+    Parameters
+    ----------
+    engine:
+        The owning :class:`~repro.parallel.engine.MulticoreNedEngine`;
+        its ``processors`` dict is populated here with shm-backed
+        tables and price-row views.
+    n_workers:
+        Worker processes; defaults to ``min(grid cells, cpu_count)``.
+        Clamped to the number of grid cells.
+    reserve_per_block:
+        Pre-grow each FlowBlock's table to this many flows so steady
+        churn never triggers a re-allocate + re-attach.
+    timeout:
+        Seconds to wait for a worker's iteration acknowledgement
+        before declaring the pool wedged.
+    """
+
+    name = "process"
+
+    def __init__(self, engine, n_workers=None, reserve_per_block=0,
+                 timeout=600.0):
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platform
+            raise RuntimeError(
+                "backend='process' needs the fork start method "
+                "(POSIX); use backend='simulated' here")
+        self.engine = engine
+        self.timeout = float(timeout)
+        partition = engine.partition
+        n = partition.n_blocks
+        n_procs = partition.n_processors
+        n_links = engine.links.n_links
+        if n_workers is None:
+            n_workers = min(n_procs, os.cpu_count() or 1)
+        self.n_workers = max(1, min(int(n_workers), n_procs))
+        self._closed = False
+
+        self.arena = SharedArena()
+        self._cells = partition.grid_cells()
+        self._row_of = {cell: i for i, cell in enumerate(self._cells)}
+        self._prices = self.arena.full("prices", (n_procs, n_links), 1.0)
+        self._load = self.arena.zeros("load", (n_procs, n_links))
+        self._hessian = self.arena.zeros("hessian", (n_procs, n_links))
+        self._counts = self.arena.zeros("counts", (n_procs,), np.int64)
+        self._versions = self.arena.zeros("versions", (n_procs,), np.int64)
+        # Capacity-derived constants also live in shared memory so the
+        # §7 path (engine.refresh_capacity after an in-place capacity
+        # change) reaches workers; the engine's idle-price vector is
+        # re-pointed at the shared copy so its in-place refresh is
+        # worker-visible with no extra message.
+        self._shared_capacity = self.arena.allocate(
+            "capacity", (n_links,), np.float64)
+        self._shared_capacity[:] = engine.links.capacity
+        self._shared_idle = self.arena.allocate(
+            "idle_price", (n_links,), np.float64)
+        self._shared_idle[:] = engine._idle_price
+        engine._idle_price = self._shared_idle
+
+        engine.processors = {}
+        self._capacity_seen = []
+        for i, cell in enumerate(self._cells):
+            table = FlowTable(engine.links,
+                              max_route_len=engine.max_route_len,
+                              allocator=self.arena.allocator(f"cell{i}"))
+            if reserve_per_block:
+                table.reserve(int(reserve_per_block))
+            engine.processors[cell] = _Processor(
+                cell, engine.links, engine.max_route_len,
+                table=table, prices=self._prices[i])
+            self._capacity_seen.append(len(table._weights))
+
+        # Round-robin cell ownership: worker w owns rows w, w+W, ...
+        self._owner_of_row = [i % self.n_workers for i in range(n_procs)]
+
+        def step_plan(steps, worker):
+            return [[(self._row_of[t.dst], self._row_of[t.src],
+                      partition.link_block(t.block, t.upward)) for t in step
+                     if self._owner_of_row[self._row_of[t.dst]] == worker]
+                    for step in steps]
+
+        from .aggregation import final_down_holder, final_up_holder
+        price_plans = [[] for _ in range(self.n_workers)]
+        for block in range(n):
+            for holder, idx in (
+                    (final_up_holder(n, block),
+                     partition.upward_links[block]),
+                    (final_down_holder(n, block),
+                     partition.downward_links[block])):
+                row = self._row_of[holder]
+                price_plans[self._owner_of_row[row]].append((row, idx))
+
+        # Static per-iteration §6.1 communication counts (identical to
+        # what the simulated backend tallies while moving the data).
+        messages = inter_cpu = entries = 0
+        for step in engine._agg_steps + engine._dist_steps:
+            for t in step:
+                messages += 1
+                entries += partition.links_per_block
+                if cpu_of(t.src, n) != cpu_of(t.dst, n):
+                    inter_cpu += 1
+        self._per_iteration = (messages, inter_cpu, entries,
+                               len(engine._agg_steps))
+
+        shared = {"prices": self._prices, "load": self._load,
+                  "hessian": self._hessian, "counts": self._counts,
+                  "versions": self._versions}
+        self._barrier = self._ctx.Barrier(self.n_workers)
+        self._conns = []
+        self._workers = []
+        for w in range(self.n_workers):
+            plans = [_CellPlan(i, engine.processors[cell].table._routes,
+                               engine.processors[cell].table._weights,
+                               engine.processors[cell].table
+                               ._bottleneck._data)
+                     for i, cell in enumerate(self._cells)
+                     if self._owner_of_row[i] == w]
+            consts = {
+                "n_links": n_links,
+                "utility": engine.utility,
+                "gamma": engine.gamma,
+                "capacity": self._shared_capacity,
+                "idle_price": self._shared_idle,
+                "agg_plan": step_plan(engine._agg_steps, w),
+                "dist_plan": step_plan(engine._dist_steps, w),
+                "price_plan": price_plans[w],
+            }
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self._barrier, plans, shared, consts),
+                daemon=True, name=f"ned-worker-{w}")
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._workers.append(process)
+
+    # ------------------------------------------------------------------
+    # churn synchronization
+    # ------------------------------------------------------------------
+    def _sync(self):
+        """Publish per-cell flow counts/versions; re-attach any cell
+        whose table grew since the last iteration."""
+        for i, cell in enumerate(self._cells):
+            table = self.engine.processors[cell].table
+            # Flush the lazily-recomputed bottleneck column into the
+            # shared array (O(1) unless refresh_capacity marked it
+            # dirty) — workers read the raw column, not the property.
+            table.bottleneck_capacity()
+            self._counts[i] = table.n_flows
+            self._versions[i] = table.version
+            capacity = len(table._weights)
+            if capacity != self._capacity_seen[i]:
+                manifest = self.arena.manifest(f"cell{i}")
+                try:
+                    self._conns[self._owner_of_row[i]].send(
+                        ("reattach", i, manifest))
+                except (BrokenPipeError, OSError):
+                    self.close()
+                    raise RuntimeError(
+                        f"worker {self._owner_of_row[i]} is dead")
+                self._capacity_seen[i] = capacity
+
+    # ------------------------------------------------------------------
+    # ParallelBackend interface
+    # ------------------------------------------------------------------
+    def refresh_capacity(self):
+        """Republish the capacity vector to workers; the idle-price
+        vector is the engine's own (shared) array, already refreshed
+        in place by ``engine.refresh_capacity``."""
+        self._shared_capacity[:] = self.engine.links.capacity
+
+    def run(self, n, stats):
+        if self._closed:
+            raise RuntimeError("process backend is closed")
+        n = int(n)
+        self._sync()
+        for w, conn in enumerate(self._conns):
+            try:
+                conn.send(("iterate", n))
+            except (BrokenPipeError, OSError):
+                self.close()
+                raise RuntimeError(f"worker {w} is dead")
+        errors = []
+        for w, conn in enumerate(self._conns):
+            if not conn.poll(self.timeout):
+                self.close()
+                raise RuntimeError(f"worker {w} did not finish "
+                                   f"within {self.timeout:.0f}s")
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # Worker died without replying (killed, segfault):
+                # tear the pool down — close() aborts the barrier so
+                # surviving workers unwedge and exit.
+                self.close()
+                raise RuntimeError(f"worker {w} died mid-iteration")
+            if message[0] == "error":
+                errors.append(f"worker {w}:\n{message[1]}")
+        if errors:
+            self.close()
+            raise RuntimeError("worker iteration failed\n"
+                               + "\n".join(errors))
+        messages, inter_cpu, entries, agg_steps = self._per_iteration
+        stats.messages += n * messages
+        stats.inter_cpu_messages += n * inter_cpu
+        stats.link_entries_moved += n * entries
+        stats.aggregation_steps += n * agg_steps
+        stats.max_flows_per_processor = max(
+            stats.max_flows_per_processor, int(self._counts.max()))
+        stats.total_flows = self.engine.n_flows
+        return stats
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        # Unwedge any worker blocked at a phase barrier (a peer died
+        # mid-iteration): aborting makes their wait raise, which they
+        # report and then exit.  Harmless when workers are idle.
+        try:
+            self._barrier.abort()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self.arena.close()
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass

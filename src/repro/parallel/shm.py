@@ -1,0 +1,142 @@
+"""Shared-memory numpy arrays for the process-parallel NED backend.
+
+The real-multicore backend keeps all hot state — per-FlowBlock flow
+columns (routes, weights, bottleneck capacities) and the per-processor
+price/load/Hessian vectors — in ``multiprocessing.shared_memory``
+segments, so worker processes operate on the *same* physical pages the
+parent's :class:`~repro.core.network.FlowTable` writes during churn.
+No per-iteration serialization crosses the process boundary; only tiny
+control messages do.
+
+:class:`SharedArena` owns the segments on the parent side and hands
+out named numpy views.  Re-allocating an existing tag (what
+``FlowTable._grow`` does when a churn batch overflows capacity)
+supersedes the old segment; the old one is unlinked immediately — the
+fork-inherited mappings in workers stay valid until they re-attach via
+:func:`attach` using the manifest the backend ships over the control
+pipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from multiprocessing import shared_memory
+
+__all__ = ["SharedArena", "attach"]
+
+
+class SharedArena:
+    """Allocator of tagged numpy arrays backed by shared memory.
+
+    Tags are hierarchical strings (``"cell3/routes"``); the arena
+    remembers the live segment per tag so :meth:`manifest` can describe
+    a subtree for worker-side :func:`attach`, and :meth:`close` can
+    release everything.
+    """
+
+    def __init__(self):
+        self._live = {}       # tag -> (SharedMemory, shape, dtype)
+        self._graveyard = []  # superseded segments, closed at close()
+
+    def allocate(self, tag, shape, dtype):
+        """Return an uninitialized shm-backed array registered as ``tag``.
+
+        Allocating an existing tag supersedes (and unlinks) the prior
+        segment — existing mappings of it remain valid until unmapped.
+        """
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        previous = self._live.pop(tag, None)
+        if previous is not None:
+            old_segment = previous[0]
+            try:
+                old_segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._graveyard.append(old_segment)
+        self._live[tag] = (segment, shape, dtype)
+        return np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+
+    def zeros(self, tag, shape, dtype=np.float64):
+        array = self.allocate(tag, shape, dtype)
+        array[:] = 0
+        return array
+
+    def full(self, tag, shape, fill, dtype=np.float64):
+        array = self.allocate(tag, shape, dtype)
+        array[:] = fill
+        return array
+
+    def allocator(self, prefix):
+        """A ``FlowTable``-compatible allocator scoped under ``prefix``."""
+        def alloc(tag, shape, dtype):
+            return self.allocate(f"{prefix}/{tag}", shape, dtype)
+        return alloc
+
+    def manifest(self, prefix):
+        """Describe the live arrays under ``prefix`` for :func:`attach`.
+
+        Returns ``{suffix: (shm_name, shape, dtype_str)}`` — plain
+        picklable data small enough for a control-pipe message.
+        """
+        scope = prefix + "/"
+        return {tag[len(scope):]: (segment.name, shape, dtype.str)
+                for tag, (segment, shape, dtype) in self._live.items()
+                if tag.startswith(scope)}
+
+    def close(self):
+        """Unlink every live segment and drop all references.
+
+        Views handed out earlier keep the parent's mappings alive until
+        they are garbage collected (``SharedMemory.close`` refuses to
+        unmap under exported buffers); unlinking is what matters — it
+        removes the names so the memory is freed once the last process
+        unmaps.
+        """
+        for segment, _, _ in self._live.values():
+            self._release(segment)
+        self._live.clear()
+        for segment in self._graveyard:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+        self._graveyard.clear()
+
+    @staticmethod
+    def _release(segment):
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        try:
+            segment.close()
+        except BufferError:
+            # A numpy view still references the mapping; the segment is
+            # unlinked, so the memory goes away when the view does.
+            pass
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach(manifest):
+    """Map the arrays a :meth:`SharedArena.manifest` describes.
+
+    Returns ``(arrays, keepalive)``: ``arrays`` maps suffix -> numpy
+    view; ``keepalive`` holds the ``SharedMemory`` objects and must
+    outlive the views (workers stash it next to them).
+    """
+    arrays, keepalive = {}, []
+    for suffix, (name, shape, dtype_str) in manifest.items():
+        segment = shared_memory.SharedMemory(name=name)
+        keepalive.append(segment)
+        arrays[suffix] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
+                                    buffer=segment.buf)
+    return arrays, keepalive

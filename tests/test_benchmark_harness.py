@@ -1,0 +1,65 @@
+"""Fast-lane smoke tests for the hot-path benchmark harness.
+
+These do not gate performance (the bench-smoke CI lane does); they
+assert the harness *machinery* works: the new end-to-end fluid
+tick-rate benchmark runs and emits a positive score, results land in
+the JSON schema the trend tooling reads, and the gate's ungated set
+keeps core-count-dependent benchmarks out of the comparison.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import harness  # noqa: E402
+
+
+class TestHarnessSmoke:
+    def test_fluid_ticks_runs_and_scores(self, tmp_path):
+        """End-to-end: `harness.py --only fluid_ticks --quick` writes a
+        result file with a positive ticks/sec score."""
+        output = tmp_path / "bench.json"
+        code = harness.main(["--quick", "--only", "fluid_ticks",
+                             "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["mode"] == "quick"
+        result = payload["results"]["fluid_ticks"]
+        assert result["ops_per_sec"] > 0
+        assert result["params"]["ticks_per_op"] > 0
+        # the normalization denominator always runs alongside
+        assert payload["results"]["calibration"]["ops_per_sec"] > 0
+
+    def test_every_benchmark_is_registered(self):
+        assert set(harness.BENCHMARKS) >= {
+            "calibration", "iterate_churn_1k", "fluid_ticks",
+            "parallel_speedup", "multicore_16proc"}
+
+    def test_ungated_benchmarks_stay_out_of_the_gate(self):
+        results = {
+            "calibration": {"ops_per_sec": 100.0},
+            "fluid_ticks": {"ops_per_sec": 50.0},
+            "parallel_speedup": {"ops_per_sec": 10.0},
+        }
+        scores = harness.relative_scores(results)
+        assert "parallel_speedup" not in scores
+        assert scores["fluid_ticks"] == pytest.approx(0.5)
+        # ...and symmetric on the baseline side: no MISSING regression.
+        rows, regressions = harness.compare(results, results,
+                                            tolerance=0.3)
+        assert regressions == []
+        assert all(name != "parallel_speedup" for name, *_ in rows)
+
+    def test_missing_gated_benchmark_counts_as_regression(self):
+        baseline = {
+            "calibration": {"ops_per_sec": 100.0},
+            "fluid_ticks": {"ops_per_sec": 50.0},
+        }
+        current = {"calibration": {"ops_per_sec": 100.0}}
+        _, regressions = harness.compare(current, baseline, tolerance=0.3)
+        assert regressions == ["fluid_ticks"]

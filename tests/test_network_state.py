@@ -150,6 +150,102 @@ class TestBatchChurn:
                               single.bottleneck_capacity())
 
 
+class TestBatchRemove:
+    """remove_flows: the vectorized mirror of the batched add."""
+
+    def populated_pair(self, n, seed):
+        """Two identically-populated tables with a tracking column."""
+        rng = np.random.default_rng(seed)
+        routes = [list(rng.integers(0, 6, size=rng.integers(1, 5)))
+                  for _ in range(n)]
+        tables, columns = [], []
+        for _ in range(2):
+            table = make_table()
+            column = table.add_column(default=-1.0)
+            for i, route in enumerate(routes):
+                table.add_flow(i, route, weight=1.0 + i)
+                column.data[table.index_of(i)] = float(i)
+            tables.append(table)
+            columns.append(column)
+        return tables, columns
+
+    def test_batch_matches_sequential_positionally(self):
+        """The batched path must land in exactly the layout sequential
+        swap-removes produce — flow ids, routes, weights and columns."""
+        rng = np.random.default_rng(42)
+        for seed in range(30):
+            (batched, sequential), (col_b, col_s) = \
+                self.populated_pair(int(rng.integers(1, 50)), seed)
+            ids = [int(i) for i in rng.choice(
+                batched.n_flows, size=int(rng.integers(0, batched.n_flows + 1)),
+                replace=False)]
+            batched.remove_flows(ids)
+            for flow_id in ids:
+                sequential.remove_flow(flow_id)
+            assert batched.flow_ids() == sequential.flow_ids()
+            assert np.array_equal(batched.routes, sequential.routes)
+            assert np.array_equal(batched.weights, sequential.weights)
+            assert np.array_equal(col_b.data, col_s.data)
+            assert np.array_equal(batched.bottleneck_capacity(),
+                                  sequential.bottleneck_capacity())
+
+    def test_one_version_bump_per_batch(self):
+        table = make_table()
+        table.apply_churn(starts=[(i, [0]) for i in range(10)])
+        v0 = table.version
+        table.remove_flows(range(6))
+        assert table.version == v0 + 1
+        assert table.n_flows == 4
+
+    def test_empty_batch_is_noop(self):
+        table = make_table()
+        table.add_flow("a", [0])
+        v0 = table.version
+        table.remove_flows([])
+        assert table.version == v0 and table.n_flows == 1
+
+    def test_unknown_id_rejected_atomically(self):
+        table = make_table()
+        table.apply_churn(starts=[(i, [0]) for i in range(5)])
+        v0 = table.version
+        with pytest.raises(KeyError):
+            table.remove_flows([0, 1, "ghost"])
+        assert table.n_flows == 5 and table.version == v0
+        assert 0 in table and 1 in table
+
+    def test_duplicate_id_rejected_atomically(self):
+        table = make_table()
+        table.apply_churn(starts=[(i, [0]) for i in range(5)])
+        v0 = table.version
+        with pytest.raises(KeyError):
+            table.remove_flows([2, 2])
+        assert table.n_flows == 5 and table.version == v0
+
+    def test_remove_everything(self):
+        table = make_table()
+        column = table.add_column(default=3.0)
+        table.apply_churn(starts=[(i, [i % 6]) for i in range(20)])
+        table.remove_flows(range(20))
+        assert table.n_flows == 0
+        assert table.flow_ids() == []
+        table.add_flow("new", [0])
+        assert column.data[0] == 3.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_batch_equals_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        (batched, sequential), (col_b, col_s) = \
+            self.populated_pair(int(rng.integers(1, 40)), seed)
+        ids = [int(i) for i in rng.permutation(batched.n_flows)[
+            : int(rng.integers(0, batched.n_flows + 1))]]
+        batched.remove_flows(ids)
+        for flow_id in ids:
+            sequential.remove_flow(flow_id)
+        assert batched.flow_ids() == sequential.flow_ids()
+        assert np.array_equal(col_b.data, col_s.data)
+
+
 class TestFlowColumns:
     def test_column_tracks_default_and_swap_remove(self):
         table = make_table()

@@ -61,3 +61,59 @@ class TestRtOptimizers:
         opt = NedRtOptimizer(table)
         opt.prices[:] = np.float32(0.0)
         assert float(opt.rate_update()[0]) <= 10.0 * (1 + 1e-3)
+
+
+class TestNoPerIterationAllocation:
+    """The RT discipline: steady-state iterations must not allocate
+    per-flow buffers — the float32 rho staging buffer is preallocated
+    and reused, replacing the old per-iteration ``astype`` copy."""
+
+    def test_rho_buffer_reused_across_iterations(self):
+        opt = NedRtOptimizer(table_with(6))
+        opt.iterate(2)
+        buffer = opt._rho32
+        assert buffer is not None and buffer.dtype == np.float32
+        for _ in range(10):
+            opt.iterate(1)
+            assert opt._rho32 is buffer, "rho32 buffer was reallocated"
+
+    def test_rho_buffer_survives_shrinking_churn(self):
+        table = table_with(8)
+        opt = NedRtOptimizer(table)
+        opt.iterate(2)
+        buffer = opt._rho32
+        table.remove_flow(3)
+        table.remove_flow(5)
+        opt.iterate(3)
+        assert opt._rho32 is buffer
+
+    def test_rho_buffer_grows_with_table_capacity(self):
+        table = table_with(4)
+        opt = NedRtOptimizer(table)
+        opt.iterate(1)
+        small = opt._rho32
+        for i in range(100, 400):   # beyond initial capacity
+            table.add_flow(i, [0])
+        opt.iterate(1)
+        assert opt._rho32 is not small
+        assert len(opt._rho32) >= table.n_flows
+        grown = opt._rho32
+        opt.iterate(5)
+        assert opt._rho32 is grown
+
+    def test_cast_matches_astype_path(self):
+        """Buffer staging must produce the exact floats the old
+        ``astype(np.float32)`` copy did."""
+        opt = NedRtOptimizer(table_with(5))
+        opt.iterate(3)
+        rho64 = opt.effective_price_sums()
+        expected = opt._weights32() * fast_reciprocal(
+            np.maximum(rho64.astype(np.float32), np.float32(1e-9)))
+        assert np.array_equal(opt.rate_update(), expected)
+
+    def test_gradient_rt_shares_the_discipline(self):
+        opt = GradientRtOptimizer(table_with(3), gamma=0.01)
+        opt.iterate(2)
+        buffer = opt._rho32
+        opt.iterate(5)
+        assert opt._rho32 is buffer
