@@ -52,25 +52,33 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 
 #: per-benchmark (n_ops, repeats) knobs for the two modes.
 _MODES = {
-    "quick": {"warmup_iters": 20, "repeats": 2,
+    "quick": {"warmup_iters": 20, "repeats": 3,
               "churn_ops": {1_000: 60, 10_000: 30, 100_000: 10},
-              "multicore_ops": 10,
-              "fluid_ops": 12,
+              # Short measurements are hostage to scheduler bursts on
+              # shared single-core hosts; these two lanes were the
+              # noisiest, so quick mode gives them enough ops that one
+              # burst cannot move the best-of-repeats past the gate.
+              "multicore_ops": 30,
+              "fluid_ops": 20,
               "speedup_flows": 4_096, "speedup_ops": 6,
-              "speedup_workers": (1, 2, 4)},
+              "speedup_workers": (1, 2, 4),
+              "socket_workers": (1, 2),
+              "barrier_steps": 300},
     "full": {"warmup_iters": 50, "repeats": 3,
              "churn_ops": {1_000: 300, 10_000: 150, 100_000: 40},
              "multicore_ops": 40,
              "fluid_ops": 50,
              "speedup_flows": 32_768, "speedup_ops": 12,
-             "speedup_workers": (1, 2, 4, 8, 16)},
+             "speedup_workers": (1, 2, 4, 8, 16),
+             "socket_workers": (1, 2, 4),
+             "barrier_steps": 1_200},
 }
 
 #: Benchmarks recorded in the JSON but *excluded* from the baseline
 #: regression gate: their scores depend on the host's core count (the
 #: calibration kernel is single-threaded, so normalization cannot make
 #: real-parallelism numbers portable between a laptop and a CI runner).
-UNGATED = frozenset({"parallel_speedup"})
+UNGATED = frozenset({"parallel_speedup", "parallel_speedup_socket"})
 
 
 # ----------------------------------------------------------------------
@@ -248,17 +256,21 @@ def bench_fluid_ticks(mode, seed=5, ticks_per_op=20):
 # ----------------------------------------------------------------------
 # real parallel speedup: worker-process backend vs single-core NED
 # ----------------------------------------------------------------------
-def bench_parallel_speedup(mode, n_blocks=4, seed=11):
+def bench_parallel_speedup(mode, n_blocks=4, seed=11, fabric="shm",
+                           workers_key="speedup_workers"):
     """Measured wall-clock speedup of the worker-process NED backend.
 
     Times one full parallel iteration on a ``n_blocks x n_blocks``
-    (default 16-FlowBlock) grid at 1/2/4/8/16 workers against
-    single-core NED over the *same* flows, in real processes over
-    shared memory — the §6.1 experiment measured instead of modeled.
-    ``ops_per_sec`` is the 8-worker rate (or the largest measured pool
-    when quick mode stops earlier).  In the gate this benchmark is
-    informational only (see ``UNGATED``): speedup is a property of the
-    host's core count as much as of the code.
+    (default 16-FlowBlock) grid at several worker counts against
+    single-core NED over the *same* flows, in real processes — the
+    §6.1 experiment measured instead of modeled.  ``fabric`` selects
+    the coordination layer: ``"shm"`` (shared memory, sense-reversing
+    barrier) or ``"socket"`` (TCP frames — the multi-host transport,
+    measured here over loopback).  ``ops_per_sec`` is the 8-worker
+    rate (or the largest measured pool when the mode stops earlier).
+    In the gate these benchmarks are informational only (see
+    ``UNGATED``): speedup is a property of the host's core count as
+    much as of the code.
     """
     from repro.core.ned import NedOptimizer
     from repro.core.network import FlowTable
@@ -286,9 +298,9 @@ def bench_parallel_speedup(mode, n_blocks=4, seed=11):
 
     per_worker_ops = {}
     reserve = max(64, n_flows // 4)
-    for n_workers in config["speedup_workers"]:
+    for n_workers in config[workers_key]:
         with MulticoreNedEngine(topology, n_blocks, backend="process",
-                                n_workers=n_workers,
+                                n_workers=n_workers, fabric=fabric,
                                 reserve_per_block=reserve) as engine:
             engine.apply_churn(starts=flows)
             engine.iterate(3)
@@ -296,7 +308,7 @@ def bench_parallel_speedup(mode, n_blocks=4, seed=11):
                 lambda _: engine.iterate(1), n_ops, config["repeats"])
 
     target = per_worker_ops.get(
-        "8", per_worker_ops[str(max(config["speedup_workers"]))])
+        "8", per_worker_ops[str(max(config[workers_key]))])
     return {
         "ops_per_sec": target,
         "single_core_ops_per_sec": single_ops,
@@ -304,7 +316,49 @@ def bench_parallel_speedup(mode, n_blocks=4, seed=11):
         "speedup_vs_single_core": {
             w: ops / single_ops for w, ops in per_worker_ops.items()},
         "params": {"n_blocks": n_blocks, "n_flows": n_flows,
-                   "n_ops": n_ops, "seed": seed,
+                   "n_ops": n_ops, "seed": seed, "fabric": fabric,
+                   "cpu_count": os.cpu_count()},
+    }
+
+
+# ----------------------------------------------------------------------
+# fabric step-synchronization cost
+# ----------------------------------------------------------------------
+def bench_barrier_step(mode, n_workers=16):
+    """Per-step cost of the fabric barrier on the 16-worker grid.
+
+    One op is one full barrier round across all workers.  Measures the
+    shm fabric's sense-reversing flag-array barrier (``ops_per_sec``,
+    gated) next to the ``multiprocessing.Barrier`` it replaced
+    (``mp_barrier_ops_per_sec``, recorded so the speedup claim stays
+    auditable) — the ROADMAP's "shrink the small-grid constant term"
+    item, measured.
+
+    The barrier mode is pinned to ``"block"`` so the gated score
+    always measures the same code path: the auto-selected mode flips
+    to pure spinning on hosts with >= 16 cores, which would make the
+    baseline compare different algorithms across machines (the
+    engine still auto-selects at run time; the spin path's
+    correctness is covered by the fabric test suite).
+    """
+    from repro.parallel import measure_barrier_rate
+
+    n_steps = _MODES[mode]["barrier_steps"]
+    repeats = _MODES[mode]["repeats"]
+    # Best-of-repeats, like every other benchmark: a 16-process
+    # barrier sweep is hostage to scheduler bursts on shared hosts,
+    # and one clean window is what the gate should compare.
+    sense = max(measure_barrier_rate("sense", n_workers, n_steps,
+                                     barrier_mode="block")
+                for _ in range(repeats))
+    mp_rate = max(measure_barrier_rate("mp", n_workers, n_steps)
+                  for _ in range(repeats))
+    return {
+        "ops_per_sec": sense,
+        "mp_barrier_ops_per_sec": mp_rate,
+        "speedup_vs_mp_barrier": sense / mp_rate,
+        "params": {"n_workers": n_workers, "n_steps": n_steps,
+                   "barrier_mode": "block",
                    "cpu_count": os.cpu_count()},
     }
 
@@ -316,7 +370,10 @@ BENCHMARKS = {
     "iterate_churn_100k": lambda mode: bench_iterate_churn(100_000, mode),
     "multicore_16proc": lambda mode: bench_multicore(mode),
     "fluid_ticks": lambda mode: bench_fluid_ticks(mode),
+    "barrier_step": lambda mode: bench_barrier_step(mode),
     "parallel_speedup": lambda mode: bench_parallel_speedup(mode),
+    "parallel_speedup_socket": lambda mode: bench_parallel_speedup(
+        mode, fabric="socket", workers_key="socket_workers"),
 }
 
 

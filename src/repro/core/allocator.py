@@ -43,26 +43,42 @@ class AllocationResult:
     flow table's positional order; ``update_indices`` are the positions
     whose endpoints must be notified (rate moved by more than the
     threshold, or flow is new).  ``updates`` renders those positions as
-    :class:`RateUpdate` objects and ``rates`` as a full id->rate dict —
-    both are materialized lazily on first access, so hot-path consumers
-    that stick to the vector forms pay nothing for them (at 10k flows
-    the RateUpdate list alone dominates ``iterate``'s cost).
+    :class:`RateUpdate` objects, ``rates`` a full id->rate dict, and
+    ``flow_ids`` a plain id list — all materialized lazily on first
+    access, so hot-path consumers that stick to the vector forms pay
+    nothing for them (at 10k flows the RateUpdate list alone dominates
+    ``iterate``'s cost, and at 100k even the id-list copy shows).
+
+    The allocator constructs results over the flow table's *live*
+    positionally-aligned id column, so the lazy views are snapshots of
+    the moment they are first accessed: consume a result (or touch the
+    properties you need) before applying further churn, as every
+    driver in this repo does within its tick.
     """
 
-    __slots__ = ("flow_ids", "rate_vector", "update_indices",
-                 "_updates", "_rates_dict")
+    __slots__ = ("_ids", "rate_vector", "update_indices",
+                 "_updates", "_rates_dict", "_flow_ids")
 
     def __init__(self, flow_ids, rate_vector, update_indices=_NO_UPDATES):
-        self.flow_ids = flow_ids
-        self.rate_vector = rate_vector  # numpy array aligned with flow_ids
+        self._ids = flow_ids  # list or positionally-aligned id array
+        self.rate_vector = rate_vector  # numpy array aligned with ids
         self.update_indices = update_indices
         self._updates = None
         self._rates_dict = None
+        self._flow_ids = None
+
+    @property
+    def flow_ids(self):
+        if self._flow_ids is None:
+            ids = self._ids
+            self._flow_ids = (ids.tolist() if isinstance(ids, np.ndarray)
+                              else list(ids))
+        return self._flow_ids
 
     @property
     def updates(self):
         if self._updates is None:
-            ids = self.flow_ids
+            ids = self._ids
             sent = np.asarray(self.rate_vector, dtype=np.float64)[
                 self.update_indices].tolist()
             self._updates = [RateUpdate(ids[i], rate) for i, rate in
@@ -73,12 +89,12 @@ class AllocationResult:
     def rates(self):
         if self._rates_dict is None:
             self._rates_dict = dict(zip(
-                self.flow_ids,
+                self._ids,
                 np.asarray(self.rate_vector, dtype=np.float64).tolist()))
         return self._rates_dict
 
     def __repr__(self):  # pragma: no cover - debugging aid
-        return (f"AllocationResult(n_flows={len(self.flow_ids)}, "
+        return (f"AllocationResult(n_flows={len(self._ids)}, "
                 f"n_updates={len(self.update_indices)})")
 
 
@@ -175,9 +191,12 @@ class FlowtuneAllocator:
         """
         raw = self.optimizer.iterate(n)
         normalized = self.normalizer(self.table, raw)
-        flow_ids = self.table.flow_ids()
+        # O(1) view of the table's positionally-aligned id column —
+        # the per-iterate list rebuild this replaces used to cost a
+        # full O(n_flows) copy whether or not anyone read the ids.
+        flow_ids = self.table.flow_id_array()
         update_idx = _NO_UPDATES
-        if flow_ids:
+        if len(flow_ids):
             rate_vec = np.asarray(normalized, dtype=np.float64)
             last = self._last_sent.data
             pending = self._pending_new.data
@@ -199,7 +218,7 @@ class FlowtuneAllocator:
         """Latest *notified* rate per flow (what endpoints believe)."""
         last = self._last_sent.data
         notified = ~np.isnan(last)
-        ids = self.table.flow_ids()
+        ids = self.table.flow_id_array()
         return {ids[i]: rate for i, rate in
                 zip(np.nonzero(notified)[0].tolist(),
                     last[notified].tolist())}

@@ -120,7 +120,13 @@ class FlowTable:
         self._weights = self._alloc("weights", (_INITIAL_CAPACITY,),
                                     np.float64)
         self._weights[:] = 1.0
-        self._ids = [None] * _INITIAL_CAPACITY
+        # Positionally-aligned flow ids, maintained under swap-remove
+        # and batched churn exactly like every other column.  An object
+        # ndarray (never routed through the allocator hook — ids are
+        # Python references, meaningless in shared memory) so
+        # :meth:`flow_id_array` can expose an O(1) view instead of
+        # rebuilding a list per allocator iterate.
+        self._ids = np.empty(_INITIAL_CAPACITY, dtype=object)
         self._index_of = {}
         self._n = 0
         #: incremented on every add/remove; lets optimizers cache
@@ -272,7 +278,7 @@ class FlowTable:
                 moved_id = self._ids[mover]
                 self._ids[hole] = moved_id
                 index_of[moved_id] = hole
-        self._ids[new_n: self._n] = [None] * (self._n - new_n)
+        self._ids[new_n: self._n] = None
         self._routes[new_n: self._n] = self.pad_link
         self._n = new_n
         self.version += 1
@@ -332,8 +338,10 @@ class FlowTable:
             column._data[block] = column.default
         padded = self.pad(self.links.capacity, pad_value=np.inf)
         self._bottleneck._data[block] = padded[route_mat].min(axis=1)
-        self._ids[n0: n0 + k] = ids
         for j, flow_id in enumerate(ids):
+            # Per-element stores: slice-assigning a list of e.g. tuple
+            # ids would make numpy broadcast them as nested sequences.
+            self._ids[n0 + j] = flow_id
             self._index_of[flow_id] = n0 + j
         self._n += k
         self.version += 1
@@ -365,7 +373,7 @@ class FlowTable:
         weights = self._alloc("weights", (new_cap,), np.float64)
         weights[self._n:] = 1.0
         weights[: self._n] = self._weights[: self._n]
-        ids = [None] * new_cap
+        ids = np.empty(new_cap, dtype=object)
         ids[: self._n] = self._ids[: self._n]
         self._routes, self._weights, self._ids = routes, weights, ids
         for i, column in enumerate(self._columns):
@@ -394,7 +402,20 @@ class FlowTable:
 
     def flow_ids(self):
         """Current positional order of flow ids (list copy)."""
-        return list(self._ids[: self._n])
+        return self._ids[: self._n].tolist()
+
+    def flow_id_array(self):
+        """Read-only view of the positionally-aligned id column, O(1).
+
+        Aligned with :attr:`routes`/:attr:`weights` and every
+        :class:`FlowColumn`; valid until the next churn event (the
+        underlying storage is swap-maintained in place).  Hot-path
+        consumers (the allocator's per-iterate notification rendering)
+        use this instead of the :meth:`flow_ids` list copy.
+        """
+        view = self._ids[: self._n]
+        view.flags.writeable = False
+        return view
 
     @property
     def routes(self):

@@ -36,7 +36,8 @@ from .aggregation import aggregation_schedule
 
 __all__ = ["PAPER_TABLE", "PaperRow", "BenchConfig", "cpu_of",
            "step_breakdown", "CostModel", "fit_cost_model",
-           "CLOCK_GHZ"]
+           "CLOCK_GHZ", "FabricStepCosts", "FABRIC_COSTS",
+           "fabric_iteration_us"]
 
 #: E7-8870 nominal clock used by the paper to convert cycles to time.
 CLOCK_GHZ = 2.4
@@ -173,6 +174,72 @@ class CostModel:
         second of allocator work, as §6.1 reports (e.g. "4 cores
         allocate 15.36 Tbit/s" = 384 nodes x 40 Gbit/s)."""
         return config.nodes * link_gbps / 1e3
+
+
+@dataclass(frozen=True)
+class FabricStepCosts:
+    """Measured per-step coordination costs of one fabric (µs).
+
+    The §6.1 model above calibrates *cycles* against the paper's
+    Nehalem numbers; this dataclass carries the analogous constants
+    for our own fabrics, measured on real hardware by the harness's
+    ``barrier_step`` benchmark and the socket frame micro-timings, so
+    iteration-time estimates can be compared *across fabrics* before
+    committing to a deployment:
+
+    * ``barrier_us`` — one ``step_barrier()`` round across all
+      workers.  Zero for the socket fabric: its frames carry the
+      step-to-step data dependencies, so steps need no barrier.
+    * ``per_message_us`` — fixed cost of one LinkBlock hand-off (an
+      in-place shared-memory read, or a TCP frame's syscall+framing
+      overhead).
+    * ``per_entry_us`` — marginal cost per link entry moved (a copied
+      float64 for shm, a serialized+parsed one for sockets).
+    """
+
+    name: str
+    barrier_us: float
+    per_message_us: float
+    per_entry_us: float
+
+    def step_us(self, n_messages, n_entries):
+        """Cost of one schedule step moving the given traffic."""
+        return (self.barrier_us + n_messages * self.per_message_us
+                + n_entries * self.per_entry_us)
+
+
+#: Default constants, measured on the dev container (single-core, so
+#: shm barrier numbers reflect the blocking fallback path; on a
+#: dedicated-core host the spin path is an order of magnitude lower).
+#: Re-measure with ``benchmarks/harness.py --only barrier_step`` when
+#: the estimates matter on new hardware.
+FABRIC_COSTS = {
+    "shm": FabricStepCosts("shm", barrier_us=80.0, per_message_us=2.0,
+                           per_entry_us=0.002),
+    "socket": FabricStepCosts("socket", barrier_us=0.0,
+                              per_message_us=40.0, per_entry_us=0.02),
+}
+
+
+def fabric_iteration_us(config: BenchConfig, fabric="shm", costs=None):
+    """Estimated per-iteration coordination time (µs) for one fabric.
+
+    Counts the fig. 3 schedule exactly as the engine executes it: each
+    of the ``log2 n`` aggregation steps and ``log2 n`` distribution
+    steps moves ``2n`` LinkBlock messages of ``links_per_block``
+    entries; synchronization points are one barrier per step plus the
+    post-rate and post-price-update barriers.  Only coordination is
+    modeled — the Equation-3/4 arithmetic is fabric-independent and
+    already covered by :class:`CostModel`.
+    """
+    c = costs if costs is not None else FABRIC_COSTS[fabric]
+    n = config.grid_side
+    steps = int(np.log2(n)) if n > 1 else 0
+    per_step_messages = 2 * n
+    per_step_entries = per_step_messages * config.links_per_block
+    sync_only = 2 * c.barrier_us  # post-rate + post-price barriers
+    return sync_only + 2 * steps * c.step_us(per_step_messages,
+                                             per_step_entries)
 
 
 def fit_cost_model(rows=None, hosts_per_rack=HOSTS_PER_RACK,

@@ -25,9 +25,12 @@ Execution is pluggable behind :class:`ParallelBackend`:
   process, exactly as described above — fast to construct, counts the
   §6.1 work/communication stats, no real parallelism;
 * ``backend="process"`` runs the same phase structure on a persistent
-  pool of **worker processes** over shared-memory state (see
+  pool of **worker processes** (see
   :mod:`repro.parallel.process_backend`), measuring *actual* parallel
-  speedup instead of modeling it.
+  speedup instead of modeling it.  All coordination goes through a
+  pluggable fabric (:mod:`repro.parallel.fabric`): ``fabric="shm"``
+  (shared memory + a sense-reversing flag-array barrier, default) or
+  ``fabric="socket"`` (TCP length-prefixed frames, multi-host capable).
 """
 
 from __future__ import annotations
@@ -155,7 +158,7 @@ class MulticoreNedEngine:
 
     def __init__(self, topology, n_blocks, utility=None, gamma=1.0,
                  max_route_len=8, backend="simulated", n_workers=None,
-                 reserve_per_block=0):
+                 reserve_per_block=0, fabric="shm", fabric_options=None):
         self.partition = BlockPartition(topology, n_blocks)
         self.links = topology.link_set()
         self.utility = utility if utility is not None else LogUtility()
@@ -184,11 +187,13 @@ class MulticoreNedEngine:
             self.backend = SimulatedBackend(self)
         elif backend == "process":
             from .process_backend import ProcessBackend
-            # The backend allocates the shared state and populates
-            # ``self.processors`` with shm-backed tables/price rows.
+            # The backend allocates the coordination state through the
+            # chosen fabric and populates ``self.processors`` with
+            # fabric-backed tables/price rows.
             self.backend = ProcessBackend(
                 self, n_workers=n_workers,
-                reserve_per_block=reserve_per_block)
+                reserve_per_block=reserve_per_block,
+                fabric=fabric, fabric_options=fabric_options)
         else:
             raise ValueError(f"unknown backend {backend!r}; "
                              "choose 'simulated' or 'process'")
@@ -293,10 +298,15 @@ class MulticoreNedEngine:
         return stats
 
     def close(self):
-        """Shut down the backend (worker pool, shared memory); no-op
-        for the simulated backend.  The engine is unusable afterwards
-        if the backend held real resources."""
-        self.backend.close()
+        """Shut down the backend (worker pool, shared memory, sockets);
+        no-op for the simulated backend.  Idempotent, and safe to call
+        even if backend construction failed partway or a worker died
+        mid-run — the fabric tears down every segment and socket it
+        allocated.  The engine is unusable afterwards if the backend
+        held real resources."""
+        backend = getattr(self, "backend", None)
+        if backend is not None:
+            backend.close()
 
     def __enter__(self):
         return self

@@ -6,71 +6,79 @@ it on a persistent pool of **real worker processes**:
 
 * each worker owns one or more FlowBlocks (grid cells, assigned
   round-robin so worker counts that don't divide the grid still work);
-* all hot state lives in ``multiprocessing.shared_memory`` — the
-  per-cell flow columns (routes, weights, bottleneck capacities, via
-  :class:`~repro.core.network.FlowTable`'s allocator hook) and the
-  ``(n_processors, n_links)`` float64 price/load/Hessian matrices —
-  so churn applied by the parent is visible to workers without any
-  copying, and rate/price partials never cross a pipe;
+* all inter-worker coordination — step synchronization, LinkBlock
+  hand-offs of load/Hessian/price rows, churn/version/capacity
+  broadcast — goes through a pluggable **fabric**
+  (:mod:`repro.parallel.fabric`): ``fabric="shm"`` keeps every hot
+  array in ``multiprocessing.shared_memory`` and synchronizes steps
+  with a sense-reversing flag-array barrier; ``fabric="socket"`` keeps
+  worker state private and moves the same LinkBlock slices as
+  length-prefixed TCP frames, which is multi-host capable;
 * one iteration follows the exact phase structure of the simulated
   engine: local Equation-3 rate work, the fig. 3 diagonal aggregation
-  schedule with a **barrier per step**, the Equation-4 price update on
-  the authoritative diagonal holders, and the reverse distribution
-  schedule, again barriered per step.  Within a step every transfer
-  touches a disjoint LinkBlock slice, so workers apply their steps'
-  transfers concurrently without locks.
+  schedule, the Equation-4 price update on the authoritative diagonal
+  holders, and the reverse distribution schedule.  Within a step every
+  transfer touches a disjoint LinkBlock slice, so workers apply their
+  steps' transfers concurrently without locks; between steps the shm
+  fabric barriers while the socket fabric's frames carry the
+  dependencies themselves.
 
-Because both backends execute the same float operations in the same
-order (they share :func:`~repro.parallel.engine.ned_price_update` and
-the FlowTable gather/scatter kernels' reduction shapes), the process
-backend is numerically equivalent to the simulated engine — and hence
-to single-core NED — up to float associativity; the cross-backend test
-suite asserts this, churn included.
+Because all backends and fabrics execute the same float operations in
+the same order (they share :func:`~repro.parallel.engine.ned_price_update`
+and the FlowTable gather/scatter kernels' reduction shapes — and a
+socket frame carries the byte-exact slice the shm fabric reads in
+place), the process backend is numerically equivalent to the simulated
+engine — and hence to single-core NED — up to float associativity; the
+cross-backend test suite asserts this for both fabrics, churn included.
 
-Control flow: the parent drives workers over one pipe per worker
-(``("iterate", n)`` / ``("reattach", row, manifest)`` / ``("stop",)``)
-and workers synchronize among themselves with a shared barrier.  The
-pool requires the ``fork`` start method (Linux): workers inherit the
-shared mappings and the plan objects directly, and only re-attach by
-name when a churn batch outgrows a FlowBlock's capacity and the parent
-re-allocates its columns.
+Control flow: the parent drives workers over one fabric control
+channel per worker (a pipe for shm, a TCP connection for sockets) and
+the workers' per-iteration exchanges stay entirely among themselves.
+The shm fabric requires the ``fork`` start method (Linux); the socket
+fabric can also boot workers from scratch over the wire (see
+:class:`~repro.parallel.fabric.LocalCluster`).
 """
 
 from __future__ import annotations
 
 import os
-
-import multiprocessing as mp
+import traceback
 
 import numpy as np
 
 from ..core.network import FlowTable
 from .engine import ParallelBackend, _Processor, ned_price_update
 from .cost_model import cpu_of
-from .shm import SharedArena, attach
+from .fabric import FABRICS, FabricError
+from .shm import attach
 
-__all__ = ["ProcessBackend"]
+__all__ = ["ProcessBackend", "CellPlan", "worker_loop"]
 
 
-class _CellPlan:
-    """Worker-side handle on one owned grid cell's shared flow state."""
+class CellPlan:
+    """Worker-side handle on one owned grid cell's flow state.
+
+    Under the shm fabric the arrays are shared-memory views inherited
+    over ``fork``; under the socket fabric they are private arrays
+    installed by churn frames.
+    """
 
     __slots__ = ("row", "routes", "weights", "bottleneck", "floor",
                  "floor_version", "_keepalive")
 
-    def __init__(self, row, routes, weights, bottleneck):
+    def __init__(self, row, routes=None, weights=None, bottleneck=None):
         self.row = row
         self.routes = routes
         self.weights = weights
         self.bottleneck = bottleneck
         self.floor = None
-        self.floor_version = -1
+        self.floor_version = None
         self._keepalive = None
 
     def rebind(self, manifest):
-        """Re-attach after the parent re-allocated this cell's arrays
-        (FlowTable growth); the old fork-inherited views stay valid
-        until dropped, so swapping references is enough."""
+        """Re-attach after the parent re-allocated this cell's shm
+        arrays (FlowTable growth); the old fork-inherited views stay
+        valid until dropped, so swapping references is enough."""
         arrays, keepalive = attach(manifest)
         self.routes = arrays["routes"]
         self.weights = arrays["weights"]
@@ -78,7 +86,7 @@ class _CellPlan:
         self._keepalive = keepalive
 
 
-def _compute_cell_rates(plan, shared, consts, scratch):
+def _compute_cell_rates(plan, fabric, consts, scratch):
     """Phase 1 for one cell: Equation-3 rates and G/H partials.
 
     Mirrors the simulated engine's use of ``FlowTable.price_sums`` /
@@ -88,9 +96,9 @@ def _compute_cell_rates(plan, shared, consts, scratch):
     profile matches the single-core kernels (only the small reduction
     outputs are allocated per iteration).
     """
-    n = int(shared["counts"][plan.row])
-    load_row = shared["load"][plan.row]
-    hessian_row = shared["hessian"][plan.row]
+    n = int(fabric.counts[plan.row])
+    load_row = fabric.load[plan.row]
+    hessian_row = fabric.hessian[plan.row]
     if n == 0:
         load_row[:] = 0.0
         hessian_row[:] = 0.0
@@ -105,11 +113,11 @@ def _compute_cell_rates(plan, shared, consts, scratch):
     if len(gather) < n * route_len:
         gather = consts["gather"] = np.empty(n * route_len)
     buf = gather[: n * route_len]
-    scratch[:n_links] = shared["prices"][plan.row]
+    scratch[:n_links] = fabric.prices[plan.row]
     scratch[n_links] = 0.0  # pad link: price zero
     np.take(scratch, flat, out=buf)
     rho = buf.reshape(n, route_len).sum(axis=1)
-    version = int(shared["versions"][plan.row])
+    version = int(fabric.versions[plan.row])
     if plan.floor_version != version:
         plan.floor = utility.inverse_rate(plan.bottleneck[:n], weights)
         plan.floor_version = version
@@ -125,45 +133,57 @@ def _compute_cell_rates(plan, shared, consts, scratch):
                                  minlength=n_links + 1)[:-1]
 
 
-def _one_iteration(plans, shared, consts, barrier):
+def _one_iteration(plans, fabric, consts):
     """One full engine iteration from a single worker's point of view.
 
-    Every worker waits at every step barrier (even with nothing to
-    send) so the phase structure — and therefore which partials each
-    transfer reads — matches the simulated engine exactly.
+    The loop is fabric-neutral: ``publish`` makes an owned row slice
+    available to the destination's owner (a no-op in shared memory, a
+    TCP frame over sockets), ``gather`` obtains a source slice (an
+    in-place read, or the matching frame), and ``step_barrier`` closes
+    each step (a sense-reversing barrier round, or nothing — frames
+    already carry the step-to-step dependencies).  The float reduction
+    order is identical across fabrics and matches the simulated
+    engine's phase structure exactly.
     """
     scratch = consts["scratch"]
     for plan in plans:
-        _compute_cell_rates(plan, shared, consts, scratch)
-    barrier.wait()
+        _compute_cell_rates(plan, fabric, consts, scratch)
+    fabric.step_barrier()
 
-    load, hessian = shared["load"], shared["hessian"]
-    for step in consts["agg_plan"]:
-        for dst_row, src_row, idx in step:
-            load[dst_row, idx] += load[src_row, idx]
-            hessian[dst_row, idx] += hessian[src_row, idx]
-        barrier.wait()
+    load, hessian = fabric.load, fabric.hessian
+    for sends, recvs in consts["agg_plan"]:
+        for peer, src_row, idx in sends:
+            fabric.publish("agg", peer, src_row, idx)
+        for src_owner, dst_row, src_row, idx in recvs:
+            load_part, hessian_part = fabric.gather("agg", src_owner,
+                                                    src_row, idx)
+            load[dst_row, idx] += load_part
+            hessian[dst_row, idx] += hessian_part
+        fabric.step_barrier()
 
-    prices = shared["prices"]
+    prices = fabric.prices
     for row, idx in consts["price_plan"]:
         ned_price_update(prices[row], load[row], hessian[row], idx,
-                         consts["capacity"], consts["idle_price"],
+                         fabric.capacity, fabric.idle_price,
                          consts["gamma"])
-    barrier.wait()
+    fabric.step_barrier()
 
-    for step in consts["dist_plan"]:
-        for dst_row, src_row, idx in step:
-            prices[dst_row, idx] = prices[src_row, idx]
-        barrier.wait()
+    for sends, recvs in consts["dist_plan"]:
+        for peer, src_row, idx in sends:
+            fabric.publish("dist", peer, src_row, idx)
+        for src_owner, dst_row, src_row, idx in recvs:
+            (prices_part,) = fabric.gather("dist", src_owner, src_row, idx)
+            prices[dst_row, idx] = prices_part
+        fabric.step_barrier()
 
 
-def _worker_main(conn, barrier, plans, shared, consts):
-    """Command loop of one worker process."""
+def worker_loop(endpoint, plans, consts):
+    """Command loop of one worker process (any fabric)."""
     consts["scratch"] = np.empty(consts["n_links"] + 1, dtype=np.float64)
     consts["gather"] = np.empty(0, dtype=np.float64)
     try:
         while True:
-            message = conn.recv()
+            message = endpoint.recv_command()
             command = message[0]
             if command == "stop":
                 break
@@ -172,53 +192,76 @@ def _worker_main(conn, barrier, plans, shared, consts):
                 for plan in plans:
                     if plan.row == row:
                         plan.rebind(manifest)
+            elif command == "churn":
+                endpoint.apply_churn(message[1], plans)
             elif command == "iterate":
                 for _ in range(message[1]):
-                    _one_iteration(plans, shared, consts, barrier)
-                conn.send(("done",))
+                    _one_iteration(plans, endpoint, consts)
+                endpoint.send_reply(("done", endpoint.done_payload(plans)))
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown command {command!r}")
     except Exception:  # noqa: BLE001 - forwarded to the parent
-        import traceback
-        barrier.abort()  # unblock peers; they error out and report too
+        endpoint.abort()  # unblock peers; they error out and report too
         try:
-            conn.send(("error", traceback.format_exc()))
+            endpoint.send_reply(("error", traceback.format_exc()))
         except Exception:  # pragma: no cover - parent already gone
             pass
+    finally:
+        endpoint.shutdown()
 
 
 class ProcessBackend(ParallelBackend):
-    """Persistent worker pool over shared-memory FlowBlocks.
+    """Persistent worker pool coordinated through a pluggable fabric.
 
     Parameters
     ----------
     engine:
         The owning :class:`~repro.parallel.engine.MulticoreNedEngine`;
-        its ``processors`` dict is populated here with shm-backed
-        tables and price-row views.
+        its ``processors`` dict is populated here with fabric-backed
+        tables and price rows.
     n_workers:
         Worker processes; defaults to ``min(grid cells, cpu_count)``.
         Clamped to the number of grid cells.
     reserve_per_block:
         Pre-grow each FlowBlock's table to this many flows so steady
-        churn never triggers a re-allocate + re-attach.
+        churn never triggers a re-allocate + re-attach (shm fabric).
     timeout:
         Seconds to wait for a worker's iteration acknowledgement
         before declaring the pool wedged.
+    fabric:
+        ``"shm"`` (shared memory + sense-reversing barrier, default)
+        or ``"socket"`` (TCP frames, multi-host capable).
+    fabric_options:
+        Extra keyword arguments for the fabric constructor (e.g.
+        ``launcher="subprocess"`` or ``barrier_mode="block"``).
     """
 
     name = "process"
 
     def __init__(self, engine, n_workers=None, reserve_per_block=0,
-                 timeout=600.0):
+                 timeout=600.0, fabric="shm", fabric_options=None):
+        if fabric not in FABRICS:
+            raise ValueError(f"unknown fabric {fabric!r}; choose from "
+                             f"{sorted(FABRICS)}")
+        options = dict(fabric_options or {})
+        options.setdefault("timeout", timeout)
         try:
-            self._ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platform
+            self.fabric = FABRICS[fabric](**options)
+        except FabricError as exc:
             raise RuntimeError(
-                "backend='process' needs the fork start method "
-                "(POSIX); use backend='simulated' here")
+                f"backend='process' fabric={fabric!r}: {exc}") from exc
         self.engine = engine
-        self.timeout = float(timeout)
+        # Timeout enforcement lives in the fabric; mirror its effective
+        # value (fabric_options may override the backend argument).
+        self.timeout = self.fabric.timeout
+        self._closed = False
+        try:
+            self._setup(engine, n_workers, reserve_per_block)
+        except Exception:
+            self.close()
+            raise
+
+    def _setup(self, engine, n_workers, reserve_per_block):
         partition = engine.partition
         n = partition.n_blocks
         n_procs = partition.n_processors
@@ -226,50 +269,63 @@ class ProcessBackend(ParallelBackend):
         if n_workers is None:
             n_workers = min(n_procs, os.cpu_count() or 1)
         self.n_workers = max(1, min(int(n_workers), n_procs))
-        self._closed = False
 
-        self.arena = SharedArena()
         self._cells = partition.grid_cells()
         self._row_of = {cell: i for i, cell in enumerate(self._cells)}
-        self._prices = self.arena.full("prices", (n_procs, n_links), 1.0)
-        self._load = self.arena.zeros("load", (n_procs, n_links))
-        self._hessian = self.arena.zeros("hessian", (n_procs, n_links))
-        self._counts = self.arena.zeros("counts", (n_procs,), np.int64)
-        self._versions = self.arena.zeros("versions", (n_procs,), np.int64)
-        # Capacity-derived constants also live in shared memory so the
-        # §7 path (engine.refresh_capacity after an in-place capacity
-        # change) reaches workers; the engine's idle-price vector is
-        # re-pointed at the shared copy so its in-place refresh is
-        # worker-visible with no extra message.
-        self._shared_capacity = self.arena.allocate(
-            "capacity", (n_links,), np.float64)
-        self._shared_capacity[:] = engine.links.capacity
-        self._shared_idle = self.arena.allocate(
-            "idle_price", (n_links,), np.float64)
-        self._shared_idle[:] = engine._idle_price
-        engine._idle_price = self._shared_idle
+        # Round-robin cell ownership: worker w owns rows w, w+W, ...
+        self._owner_of_row = [i % self.n_workers for i in range(n_procs)]
+
+        state = self.fabric.alloc_state(n_procs, n_links,
+                                        engine.links.capacity,
+                                        engine._idle_price)
+        if state is not None:
+            # Capacity-derived constants live in shared memory so the
+            # §7 path (engine.refresh_capacity after an in-place
+            # capacity change) reaches workers; the engine's idle-price
+            # vector is re-pointed at the shared copy so its in-place
+            # refresh is worker-visible with no extra message.
+            engine._idle_price = state["idle_price"]
 
         engine.processors = {}
-        self._capacity_seen = []
         for i, cell in enumerate(self._cells):
             table = FlowTable(engine.links,
                               max_route_len=engine.max_route_len,
-                              allocator=self.arena.allocator(f"cell{i}"))
+                              allocator=self.fabric.table_allocator(i))
             if reserve_per_block:
                 table.reserve(int(reserve_per_block))
             engine.processors[cell] = _Processor(
                 cell, engine.links, engine.max_route_len,
-                table=table, prices=self._prices[i])
-            self._capacity_seen.append(len(table._weights))
+                table=table, prices=self.fabric.processor_prices(i))
 
-        # Round-robin cell ownership: worker w owns rows w, w+W, ...
-        self._owner_of_row = [i % self.n_workers for i in range(n_procs)]
+        # Fabric-neutral transfer plans.  Within each fig. 3 step a
+        # worker first publishes the slices it owns whose destination
+        # lives elsewhere, then gathers + applies every transfer whose
+        # destination it owns.  Both sides of a pair derive their frame
+        # order from this same list, so socket streams need no tags.
+        owner = self._owner_of_row
+        row_of = self._row_of
 
-        def step_plan(steps, worker):
-            return [[(self._row_of[t.dst], self._row_of[t.src],
-                      partition.link_block(t.block, t.upward)) for t in step
-                     if self._owner_of_row[self._row_of[t.dst]] == worker]
-                    for step in steps]
+        def split(steps):
+            per_worker = [[] for _ in range(self.n_workers)]
+            for step in steps:
+                sends = [[] for _ in range(self.n_workers)]
+                recvs = [[] for _ in range(self.n_workers)]
+                for t in step:
+                    src_row = row_of[t.src]
+                    dst_row = row_of[t.dst]
+                    idx = partition.link_block(t.block, t.upward)
+                    src_owner = owner[src_row]
+                    dst_owner = owner[dst_row]
+                    if src_owner != dst_owner:
+                        sends[src_owner].append((dst_owner, src_row, idx))
+                    recvs[dst_owner].append((src_owner, dst_row, src_row,
+                                             idx))
+                for w in range(self.n_workers):
+                    per_worker[w].append((sends[w], recvs[w]))
+            return per_worker
+
+        agg_plans = split(engine._agg_steps)
+        dist_plans = split(engine._dist_steps)
 
         from .aggregation import final_down_holder, final_up_holder
         price_plans = [[] for _ in range(self.n_workers)]
@@ -279,8 +335,8 @@ class ProcessBackend(ParallelBackend):
                      partition.upward_links[block]),
                     (final_down_holder(n, block),
                      partition.downward_links[block])):
-                row = self._row_of[holder]
-                price_plans[self._owner_of_row[row]].append((row, idx))
+                row = row_of[holder]
+                price_plans[owner[row]].append((row, idx))
 
         # Static per-iteration §6.1 communication counts (identical to
         # what the simulated backend tallies while moving the data).
@@ -294,112 +350,89 @@ class ProcessBackend(ParallelBackend):
         self._per_iteration = (messages, inter_cpu, entries,
                                len(engine._agg_steps))
 
-        shared = {"prices": self._prices, "load": self._load,
-                  "hessian": self._hessian, "counts": self._counts,
-                  "versions": self._versions}
-        self._barrier = self._ctx.Barrier(self.n_workers)
-        self._conns = []
-        self._workers = []
+        per_worker = []
         for w in range(self.n_workers):
-            plans = [_CellPlan(i, engine.processors[cell].table._routes,
-                               engine.processors[cell].table._weights,
-                               engine.processors[cell].table
-                               ._bottleneck._data)
+            plans = [CellPlan(i,
+                              engine.processors[cell].table._routes,
+                              engine.processors[cell].table._weights,
+                              engine.processors[cell].table
+                              ._bottleneck._data)
                      for i, cell in enumerate(self._cells)
-                     if self._owner_of_row[i] == w]
+                     if owner[i] == w]
             consts = {
                 "n_links": n_links,
                 "utility": engine.utility,
                 "gamma": engine.gamma,
-                "capacity": self._shared_capacity,
-                "idle_price": self._shared_idle,
-                "agg_plan": step_plan(engine._agg_steps, w),
-                "dist_plan": step_plan(engine._dist_steps, w),
+                "agg_plan": agg_plans[w],
+                "dist_plan": dist_plans[w],
                 "price_plan": price_plans[w],
             }
-            parent_conn, child_conn = self._ctx.Pipe()
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(child_conn, self._barrier, plans, shared, consts),
-                daemon=True, name=f"ned-worker-{w}")
-            process.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._workers.append(process)
+            if state is None:
+                # Socket workers bootstrap over the wire: ship the
+                # shapes and capacity constants alongside the plans.
+                consts["_n_procs"] = n_procs
+                consts["_capacity"] = np.array(engine.links.capacity)
+                consts["_idle_price"] = np.array(engine._idle_price)
+            per_worker.append((plans, consts))
+        self.fabric.launch(worker_loop, per_worker)
 
     # ------------------------------------------------------------------
     # churn synchronization
     # ------------------------------------------------------------------
     def _sync(self):
-        """Publish per-cell flow counts/versions; re-attach any cell
-        whose table grew since the last iteration."""
-        for i, cell in enumerate(self._cells):
-            table = self.engine.processors[cell].table
-            # Flush the lazily-recomputed bottleneck column into the
-            # shared array (O(1) unless refresh_capacity marked it
-            # dirty) — workers read the raw column, not the property.
-            table.bottleneck_capacity()
-            self._counts[i] = table.n_flows
-            self._versions[i] = table.version
-            capacity = len(table._weights)
-            if capacity != self._capacity_seen[i]:
-                manifest = self.arena.manifest(f"cell{i}")
-                try:
-                    self._conns[self._owner_of_row[i]].send(
-                        ("reattach", i, manifest))
-                except (BrokenPipeError, OSError):
-                    self.close()
-                    raise RuntimeError(
-                        f"worker {self._owner_of_row[i]} is dead")
-                self._capacity_seen[i] = capacity
+        """Hand every cell's table to the fabric, which publishes the
+        churn its workers need: the shm fabric refreshes the shared
+        count/version vectors and re-attaches regrown cells, the
+        socket fabric frames snapshots of cells whose version moved.
+        Each fabric keeps its own dirty-tracking — the backend stays
+        fabric-neutral."""
+        self.fabric.sync_churn(
+            [(i, self.engine.processors[cell].table)
+             for i, cell in enumerate(self._cells)],
+            self._owner_of_row)
 
     # ------------------------------------------------------------------
     # ParallelBackend interface
     # ------------------------------------------------------------------
     def refresh_capacity(self):
-        """Republish the capacity vector to workers; the idle-price
-        vector is the engine's own (shared) array, already refreshed
-        in place by ``engine.refresh_capacity``."""
-        self._shared_capacity[:] = self.engine.links.capacity
+        """Republish the capacity vector to workers.  Under shm the
+        idle-price vector is the engine's own (shared) array, already
+        refreshed in place by ``engine.refresh_capacity``; under
+        sockets both vectors ship with the next churn frame."""
+        self.fabric.refresh_capacity(self.engine.links.capacity,
+                                     self.engine._idle_price)
+
+    @property
+    def _workers(self):
+        return self.fabric.workers
 
     def run(self, n, stats):
         if self._closed:
             raise RuntimeError("process backend is closed")
         n = int(n)
-        self._sync()
-        for w, conn in enumerate(self._conns):
-            try:
-                conn.send(("iterate", n))
-            except (BrokenPipeError, OSError):
-                self.close()
-                raise RuntimeError(f"worker {w} is dead")
-        errors = []
-        for w, conn in enumerate(self._conns):
-            if not conn.poll(self.timeout):
-                self.close()
-                raise RuntimeError(f"worker {w} did not finish "
-                                   f"within {self.timeout:.0f}s")
-            try:
-                message = conn.recv()
-            except (EOFError, OSError):
-                # Worker died without replying (killed, segfault):
-                # tear the pool down — close() aborts the barrier so
-                # surviving workers unwedge and exit.
-                self.close()
-                raise RuntimeError(f"worker {w} died mid-iteration")
-            if message[0] == "error":
-                errors.append(f"worker {w}:\n{message[1]}")
-        if errors:
+        try:
+            # A dead worker can surface during the churn publish (a
+            # reattach or snapshot send hits a broken channel) just as
+            # during the iteration itself — both paths tear the pool
+            # down eagerly so peers unwedge and resources release.
+            self._sync()
+            row_prices = self.fabric.iterate(n)
+        except FabricError as exc:
             self.close()
-            raise RuntimeError("worker iteration failed\n"
-                               + "\n".join(errors))
+            raise RuntimeError(str(exc)) from exc
+        if row_prices:
+            # Socket fabric: the authoritative price rows come back
+            # with the acknowledgements (shared memory needs no copy).
+            for row, vector in row_prices.items():
+                self.engine.processors[self._cells[row]].prices[:] = vector
         messages, inter_cpu, entries, agg_steps = self._per_iteration
         stats.messages += n * messages
         stats.inter_cpu_messages += n * inter_cpu
         stats.link_entries_moved += n * entries
         stats.aggregation_steps += n * agg_steps
         stats.max_flows_per_processor = max(
-            stats.max_flows_per_processor, int(self._counts.max()))
+            stats.max_flows_per_processor,
+            max(p.table.n_flows for p in self.engine.processors.values()))
         stats.total_flows = self.engine.n_flows
         return stats
 
@@ -407,26 +440,7 @@ class ProcessBackend(ParallelBackend):
         if self._closed:
             return
         self._closed = True
-        # Unwedge any worker blocked at a phase barrier (a peer died
-        # mid-iteration): aborting makes their wait raise, which they
-        # report and then exit.  Harmless when workers are idle.
-        try:
-            self._barrier.abort()
-        except Exception:  # pragma: no cover - defensive
-            pass
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self._workers:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - wedged worker
-                process.terminate()
-                process.join(timeout=5.0)
-        for conn in self._conns:
-            conn.close()
-        self.arena.close()
+        self.fabric.close()
 
     def __del__(self):  # pragma: no cover - safety net
         try:

@@ -1,19 +1,22 @@
-"""Shared-memory numpy arrays for the process-parallel NED backend.
+"""Shared-memory numpy arrays: the shm fabric's storage layer.
 
-The real-multicore backend keeps all hot state — per-FlowBlock flow
-columns (routes, weights, bottleneck capacities) and the per-processor
-price/load/Hessian vectors — in ``multiprocessing.shared_memory``
-segments, so worker processes operate on the *same* physical pages the
-parent's :class:`~repro.core.network.FlowTable` writes during churn.
-No per-iteration serialization crosses the process boundary; only tiny
-control messages do.
+The :class:`~repro.parallel.fabric.SharedMemoryFabric` keeps all hot
+state — per-FlowBlock flow columns (routes, weights, bottleneck
+capacities), the per-processor price/load/Hessian vectors, and the
+sense-reversing barrier's flag array — in
+``multiprocessing.shared_memory`` segments, so worker processes
+operate on the *same* physical pages the parent's
+:class:`~repro.core.network.FlowTable` writes during churn.  No
+per-iteration serialization crosses the process boundary; only tiny
+control messages do.  (The socket fabric shares nothing and does not
+use this module — fabrics own their storage strategy.)
 
 :class:`SharedArena` owns the segments on the parent side and hands
 out named numpy views.  Re-allocating an existing tag (what
 ``FlowTable._grow`` does when a churn batch overflows capacity)
 supersedes the old segment; the old one is unlinked immediately — the
 fork-inherited mappings in workers stay valid until they re-attach via
-:func:`attach` using the manifest the backend ships over the control
+:func:`attach` using the manifest the fabric ships over the control
 pipe.
 """
 
@@ -75,6 +78,11 @@ class SharedArena:
         def alloc(tag, shape, dtype):
             return self.allocate(f"{prefix}/{tag}", shape, dtype)
         return alloc
+
+    def shape(self, tag):
+        """Shape of the live array registered as ``tag`` (None if absent)."""
+        entry = self._live.get(tag)
+        return entry[1] if entry is not None else None
 
     def manifest(self, prefix):
         """Describe the live arrays under ``prefix`` for :func:`attach`.

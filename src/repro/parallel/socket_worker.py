@@ -1,0 +1,29 @@
+"""CLI entry for one socket-fabric worker "host".
+
+Run on any machine that can reach the parent's TCP address::
+
+    REPRO_FABRIC_TOKEN=<parent fabric token_hex> \\
+        python -m repro.parallel.socket_worker HOST PORT WORKER_ID [BIND_HOST]
+
+The process carries no pre-shared state beyond the fabric token (the
+parent's ``SocketFabric.token_hex``, presented before any pickled
+frame is exchanged): it connects, authenticates, receives its
+bootstrap frame (plans, constants, peer map), joins the worker mesh,
+and serves iterations until the parent sends ``stop`` — see
+:mod:`repro.parallel.fabric`.  This module exists separately from
+``fabric`` so ``python -m`` does not re-execute a module the package
+already imported.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .fabric import _socket_worker_entry
+
+if __name__ == "__main__":
+    _socket_worker_entry(sys.argv[1], int(sys.argv[2]), int(sys.argv[3]),
+                         sys.argv[4] if len(sys.argv) > 4 else "127.0.0.1",
+                         bytes.fromhex(
+                             os.environ.get("REPRO_FABRIC_TOKEN", "")))

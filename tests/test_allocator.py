@@ -251,3 +251,49 @@ class TestConfigurability:
         result = allocator.iterate(5)
         load = allocator.table.link_totals(np.asarray(result.rate_vector))
         assert np.all(load <= allocator.full_links.capacity + 1e-9)
+
+
+class TestAllocationResultLaziness:
+    """iterate() must not rebuild the id list; the result renders ids
+    lazily from the table's positionally-cached column."""
+
+    def make_allocator(self, n=30):
+        links = LinkSet(np.full(8, 10.0))
+        allocator = FlowtuneAllocator(links, update_threshold=0.01)
+        allocator.apply_churn(starts=[(("f", i), [i % 8])
+                                      for i in range(n)])
+        return allocator
+
+    def test_flow_ids_materializes_as_a_stable_list(self):
+        allocator = self.make_allocator()
+        result = allocator.iterate()
+        ids = result.flow_ids
+        assert isinstance(ids, list)
+        assert ids == [("f", i) for i in range(30)]
+        assert result.flow_ids is ids  # cached, not rebuilt
+
+    def test_updates_and_rates_follow_positional_order_under_churn(self):
+        allocator = self.make_allocator()
+        allocator.iterate()
+        # Swap-removes scramble positions; the rendered ids must track.
+        allocator.apply_churn(ends=[("f", 0), ("f", 13)],
+                              starts=[(("f", 50), [2], 2.0)])
+        result = allocator.iterate()
+        assert set(result.rates) == \
+            {("f", i) for i in range(1, 30) if i != 13} | {("f", 50)}
+        for update in result.updates:
+            assert result.rates[update.flow_id] == \
+                pytest.approx(update.rate)
+        # the new flow is always notified
+        assert ("f", 50) in {u.flow_id for u in result.updates}
+
+    def test_result_consumed_within_the_tick_is_consistent(self):
+        """The documented contract: materialize what you need before
+        the next churn batch (as every driver in-repo does)."""
+        allocator = self.make_allocator(n=5)
+        result = allocator.iterate()
+        updates = result.updates     # materialized now
+        ids = result.flow_ids
+        allocator.apply_churn(ends=[("f", 0)])
+        assert ids == [("f", i) for i in range(5)]
+        assert len(updates) == 5

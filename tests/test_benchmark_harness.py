@@ -63,3 +63,96 @@ class TestHarnessSmoke:
         current = {"calibration": {"ops_per_sec": 100.0}}
         _, regressions = harness.compare(current, baseline, tolerance=0.3)
         assert regressions == ["fluid_ticks"]
+
+
+import trend  # noqa: E402
+
+
+class TestFabricBenchmarks:
+    def test_new_benchmarks_are_registered(self):
+        assert {"barrier_step", "parallel_speedup_socket"} \
+            <= set(harness.BENCHMARKS)
+
+    def test_barrier_step_is_gated_and_socket_speedup_is_not(self):
+        results = {
+            "calibration": {"ops_per_sec": 100.0},
+            "barrier_step": {"ops_per_sec": 400.0},
+            "parallel_speedup": {"ops_per_sec": 10.0},
+            "parallel_speedup_socket": {"ops_per_sec": 5.0},
+        }
+        scores = harness.relative_scores(results)
+        assert scores == {"barrier_step": pytest.approx(4.0)}
+
+    def test_barrier_step_runs_and_reports_the_mp_comparison(self):
+        result = harness.bench_barrier_step("quick", n_workers=2)
+        assert result["ops_per_sec"] > 0
+        assert result["mp_barrier_ops_per_sec"] > 0
+        assert result["speedup_vs_mp_barrier"] == pytest.approx(
+            result["ops_per_sec"] / result["mp_barrier_ops_per_sec"])
+
+
+class TestTrend:
+    def artifact(self, tmp_path, run, scores, mode="quick"):
+        directory = tmp_path / f"bench-hotpath-{run}-1"
+        directory.mkdir()
+        results = {name: {"ops_per_sec": ops}
+                   for name, ops in scores.items()}
+        (directory / "BENCH_hotpath.json").write_text(json.dumps(
+            {"schema": 2, "mode": mode, "results": results}))
+        return directory
+
+    def test_series_ordered_by_run_number_and_normalized(self, tmp_path):
+        # Written out of order; run number must win over mtime.
+        self.artifact(tmp_path, 12, {"calibration": 100.0,
+                                     "fluid_ticks": 80.0})
+        self.artifact(tmp_path, 3, {"calibration": 200.0,
+                                    "fluid_ticks": 100.0})
+        series = trend.load_series(trend.discover([str(tmp_path)]))
+        assert [label for label, _ in series] == ["run 3", "run 12"]
+        assert series[0][1]["fluid_ticks"] == pytest.approx(0.5)
+        assert series[1][1]["fluid_ticks"] == pytest.approx(0.8)
+
+    def test_run_numbers_sort_numerically_across_digit_boundaries(
+            self, tmp_path):
+        for run in (99, 105):
+            self.artifact(tmp_path, run, {"calibration": 100.0,
+                                          "fluid_ticks": float(run)})
+        series = trend.load_series(trend.discover([str(tmp_path)]))
+        assert [label for label, _ in series] == ["run 99", "run 105"]
+        assert trend.run_number("bench-hotpath-105-1") \
+            > trend.run_number("bench-hotpath-99-2")
+
+    def test_other_modes_and_junk_files_are_skipped(self, tmp_path):
+        self.artifact(tmp_path, 1, {"calibration": 1.0}, mode="full")
+        (tmp_path / "junk.json").write_text("{not json")
+        assert trend.load_series(trend.discover([str(tmp_path)])) == []
+
+    def test_committed_baseline_layout_is_accepted(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema": 2, "modes": {
+            "quick": {"results": {
+                "calibration": {"ops_per_sec": 100.0},
+                "fluid_ticks": {"ops_per_sec": 25.0}}}}}))
+        series = trend.load_series([baseline])
+        assert series == [("baseline", {"fluid_ticks": pytest.approx(0.25)})]
+
+    def test_render_flags_scores_below_the_gate_floor(self, tmp_path):
+        import io
+        series = [("run 1", {"fluid_ticks": 1.0}),
+                  ("run 2", {"fluid_ticks": 0.5})]
+        out = io.StringIO()
+        breaching = trend.render(series, {"fluid_ticks": 1.0},
+                                 tolerance=0.3, out=out)
+        assert breaching == ["fluid_ticks"]
+        assert "fluid_ticks" in out.getvalue()
+
+    def test_main_end_to_end(self, tmp_path, capsys):
+        self.artifact(tmp_path, 1, {"calibration": 100.0,
+                                    "fluid_ticks": 50.0})
+        self.artifact(tmp_path, 2, {"calibration": 100.0,
+                                    "fluid_ticks": 60.0})
+        code = trend.main([str(tmp_path),
+                           "--baseline", str(tmp_path / "missing.json")])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "fluid_ticks" in captured and "run 1 .. run 2" in captured

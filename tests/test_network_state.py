@@ -359,3 +359,67 @@ class TestKernels:
         for flow_id in alive:
             idx = table.index_of(flow_id)
             assert table.flow_ids()[idx] == flow_id
+
+
+class TestFlowIdArray:
+    """The positionally-cached id column behind ``flow_id_array``."""
+
+    def test_view_is_aligned_and_read_only(self):
+        table = make_table()
+        for name in ("a", "b", "c"):
+            table.add_flow(name, [0])
+        ids = table.flow_id_array()
+        assert ids.tolist() == ["a", "b", "c"]
+        with pytest.raises(ValueError):
+            ids[0] = "x"
+
+    def test_view_is_o1_not_a_copy(self):
+        table = make_table()
+        table.add_flow("a", [0])
+        assert table.flow_id_array().base is table._ids
+
+    def test_swap_remove_keeps_array_and_list_in_lockstep(self):
+        rng = np.random.default_rng(3)
+        table = make_table()
+        alive = []
+        for i in range(40):
+            table.add_flow(i, [int(rng.integers(6))])
+            alive.append(i)
+        for _ in range(25):
+            victim = alive.pop(int(rng.integers(len(alive))))
+            table.remove_flow(victim)
+            assert table.flow_id_array().tolist() == table.flow_ids()
+            for pos, flow_id in enumerate(table.flow_id_array()):
+                assert table.index_of(flow_id) == pos
+
+    def test_batched_churn_with_tuple_ids(self):
+        """Tuple ids are the broadcast trap: numpy must store them as
+        objects, not try to treat the batch as a 2-D assignment."""
+        table = make_table()
+        starts = [(("f", i), [i % 6]) for i in range(10)]
+        table.apply_churn(starts=starts)
+        assert table.flow_id_array().tolist() == [("f", i)
+                                                 for i in range(10)]
+        table.apply_churn(ends=[("f", 0), ("f", 5)],
+                          starts=[(("f", 99), [1])])
+        assert set(table.flow_id_array().tolist()) == \
+            {("f", i) for i in (1, 2, 3, 4, 6, 7, 8, 9, 99)}
+        assert table.flow_id_array().tolist() == table.flow_ids()
+
+    def test_batched_remove_matches_sequential(self):
+        batched, sequential = make_table(), make_table()
+        for t in (batched, sequential):
+            for i in range(20):
+                t.add_flow(i, [i % 6])
+        victims = [0, 7, 19, 3, 11]
+        batched.remove_flows(victims)
+        for victim in victims:
+            sequential.remove_flow(victim)
+        assert batched.flow_id_array().tolist() == \
+            sequential.flow_id_array().tolist()
+
+    def test_grow_preserves_the_id_column(self):
+        table = make_table()
+        for i in range(200):  # far past _INITIAL_CAPACITY
+            table.add_flow(i, [i % 6])
+        assert table.flow_id_array().tolist() == list(range(200))

@@ -3,12 +3,17 @@
 The §5 design claim is that the FlowBlock/LinkBlock partitioning makes
 the parallel allocator *numerically equivalent* to single-core NED.
 The simulated engine asserts that in one process; this suite closes
-the loop for the real worker-process backend: same grids, same churn
-schedules, same floats (up to float associativity — in practice the
-backends share the very kernels, so the tolerance is loose cover for
-an exact match), across worker counts that do and don't divide the
-grid evenly, before and after mid-run churn batches, and across the
-shared-buffer re-allocation (regrow → re-attach) path.
+the loop for the real worker-process backend — over **both
+coordination fabrics**: shared memory (sense-reversing barrier, data
+read in place) and sockets (LinkBlock slices as TCP frames, no shared
+state at all).  Same grids, same churn schedules, same floats (up to
+float associativity — in practice the fabrics ship byte-exact slices
+through the very same kernels, so the tolerance is loose cover for an
+exact match), across worker counts that do and don't divide the grid
+evenly, before and after mid-run churn batches, and across the
+shared-buffer re-allocation (regrow → re-attach / re-snapshot) path.
+The socket cases double as the fast-lane multi-host smoke: nothing in
+the worker protocol assumes a shared machine.
 """
 
 import multiprocessing
@@ -79,21 +84,24 @@ def single_core_rates(engine):
 class TestCrossBackendEquivalence:
     """The headline suite: process == simulated == single-core NED."""
 
-    @pytest.mark.parametrize("n_blocks,n_workers", [
-        (2, 1),
-        (2, 2),
-        (2, 3),   # does not divide the 4-cell grid
-        (2, 4),
+    @pytest.mark.parametrize("n_blocks,n_workers,fabric", [
+        (2, 1, "shm"),
+        (2, 2, "shm"),
+        (2, 3, "shm"),   # does not divide the 4-cell grid
+        (2, 4, "shm"),
+        (2, 2, "socket"),
+        (2, 3, "socket"),  # uneven ownership over TCP frames
     ])
     def test_static_flows_match_simulated_and_single_core(
-            self, n_blocks, n_workers):
+            self, n_blocks, n_workers, fabric):
         topology = clos_for_blocks(n_blocks)
         batches = [(random_starts(topology, np.random.default_rng(0),
                                   range(60)), [])]
         simulated = MulticoreNedEngine(topology, n_blocks)
         r_sim, p_sim = run_schedule(simulated, batches, 15)
         with MulticoreNedEngine(topology, n_blocks, backend="process",
-                                n_workers=n_workers) as engine:
+                                n_workers=n_workers,
+                                fabric=fabric) as engine:
             r_proc, p_proc = run_schedule(engine, batches, 15)
             assert r_proc.keys() == r_sim.keys()
             for flow_id, rate in r_proc.items():
@@ -103,35 +111,40 @@ class TestCrossBackendEquivalence:
             for flow_id, rate in r_proc.items():
                 assert rate == pytest.approx(expected[flow_id], rel=RTOL)
 
-    @pytest.mark.parametrize("n_blocks,n_workers,seed", [
-        (2, 2, 1),
-        (2, 3, 2),
+    @pytest.mark.parametrize("n_blocks,n_workers,seed,fabric", [
+        (2, 2, 1, "shm"),
+        (2, 3, 2, "shm"),
+        (2, 2, 1, "socket"),
+        (2, 3, 2, "socket"),
     ])
-    def test_mid_run_churn_batches_match(self, n_blocks, n_workers, seed):
+    def test_mid_run_churn_batches_match(self, n_blocks, n_workers, seed,
+                                         fabric):
         topology = clos_for_blocks(n_blocks)
         batches = churn_schedule(topology, seed, rounds=5, burst=25,
                                  n_initial=40)
         simulated = MulticoreNedEngine(topology, n_blocks)
         r_sim, p_sim = run_schedule(simulated, batches, 4)
         with MulticoreNedEngine(topology, n_blocks, backend="process",
-                                n_workers=n_workers) as engine:
+                                n_workers=n_workers,
+                                fabric=fabric) as engine:
             r_proc, p_proc = run_schedule(engine, batches, 4)
             assert r_proc.keys() == r_sim.keys()
             for flow_id, rate in r_proc.items():
                 assert rate == pytest.approx(r_sim[flow_id], rel=RTOL)
             np.testing.assert_allclose(p_proc, p_sim, rtol=RTOL)
 
-    def test_refresh_capacity_stays_equivalent(self):
+    @pytest.mark.parametrize("fabric", ["shm", "socket"])
+    def test_refresh_capacity_stays_equivalent(self, fabric):
         """§7 path: in-place capacity changes must reach workers —
-        the shared bottleneck column is flushed and the shared
-        capacity/idle-price vectors republished."""
+        the bottleneck column is flushed and the capacity/idle-price
+        vectors republished (in place for shm, framed for sockets)."""
         topology = clos_for_blocks(2)
         batches = [(random_starts(topology, np.random.default_rng(2),
                                   range(50)), [])]
         simulated = MulticoreNedEngine(topology, 2)
         run_schedule(simulated, batches, 5)
         with MulticoreNedEngine(topology, 2, backend="process",
-                                n_workers=2) as engine:
+                                n_workers=2, fabric=fabric) as engine:
             run_schedule(engine, batches, 5)
             for target in (simulated, engine):
                 target.links.capacity *= 0.5
@@ -145,10 +158,11 @@ class TestCrossBackendEquivalence:
                                        simulated.global_prices(),
                                        rtol=RTOL)
 
-    def test_dead_worker_raises_instead_of_hanging(self):
+    @pytest.mark.parametrize("fabric", ["shm", "socket"])
+    def test_dead_worker_raises_instead_of_hanging(self, fabric):
         topology = clos_for_blocks(2)
         engine = MulticoreNedEngine(topology, 2, backend="process",
-                                    n_workers=2)
+                                    n_workers=2, fabric=fabric)
         try:
             engine.add_flow(0, 0, topology.n_hosts - 1)
             engine.iterate(1)
@@ -164,13 +178,15 @@ class TestCrossBackendEquivalence:
         finally:
             engine.close()
 
-    def test_regrow_reattaches_shared_buffers(self):
+    @pytest.mark.parametrize("fabric", ["shm", "socket"])
+    def test_regrow_reattaches_shared_buffers(self, fabric):
         """Bursts past the initial 64-slot capacity re-allocate a
-        block's shared arrays; workers must follow via re-attach."""
+        block's arrays; shm workers must follow via re-attach, socket
+        workers via a fresh cell snapshot."""
         topology = clos_for_blocks(2)
         rng = np.random.default_rng(9)
         with MulticoreNedEngine(topology, 2, backend="process",
-                                n_workers=2) as engine:
+                                n_workers=2, fabric=fabric) as engine:
             engine.apply_churn(
                 starts=random_starts(topology, rng, range(30)))
             engine.iterate(3)
@@ -187,8 +203,10 @@ class TestCrossBackendEquivalence:
                 assert rate == pytest.approx(expected[flow_id], rel=RTOL)
 
     @pytest.mark.slow
-    @pytest.mark.parametrize("n_workers", [4, 5, 16])
-    def test_larger_grid_under_churn(self, n_workers):
+    @pytest.mark.parametrize("n_workers,fabric", [
+        (4, "shm"), (5, "shm"), (16, "shm"), (4, "socket"),
+    ])
+    def test_larger_grid_under_churn(self, n_workers, fabric):
         """16-cell grid, worker counts below/at/not dividing it."""
         topology = clos_for_blocks(4)
         batches = churn_schedule(topology, seed=3, rounds=4, burst=60,
@@ -196,7 +214,8 @@ class TestCrossBackendEquivalence:
         simulated = MulticoreNedEngine(topology, 4)
         r_sim, p_sim = run_schedule(simulated, batches, 3)
         with MulticoreNedEngine(topology, 4, backend="process",
-                                n_workers=n_workers) as engine:
+                                n_workers=n_workers,
+                                fabric=fabric) as engine:
             r_proc, p_proc = run_schedule(engine, batches, 3)
             assert r_proc.keys() == r_sim.keys()
             for flow_id, rate in r_proc.items():
@@ -208,13 +227,14 @@ class TestCrossBackendEquivalence:
 
 
 class TestProcessBackendMechanics:
-    def test_stats_match_simulated_engine(self):
+    @pytest.mark.parametrize("fabric", ["shm", "socket"])
+    def test_stats_match_simulated_engine(self, fabric):
         topology = clos_for_blocks(4)
         simulated = MulticoreNedEngine(topology, 4)
         simulated.add_flow(0, 0, topology.n_hosts - 1)
         s_sim = simulated.iterate(2)
         with MulticoreNedEngine(topology, 4, backend="process",
-                                n_workers=2) as engine:
+                                n_workers=2, fabric=fabric) as engine:
             engine.add_flow(0, 0, topology.n_hosts - 1)
             s_proc = engine.iterate(2)
         for field in ("messages", "inter_cpu_messages",
@@ -250,6 +270,11 @@ class TestProcessBackendMechanics:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
             MulticoreNedEngine(clos_for_blocks(2), 2, backend="threads")
+
+    def test_unknown_fabric_rejected(self):
+        with pytest.raises(ValueError):
+            MulticoreNedEngine(clos_for_blocks(2), 2, backend="process",
+                               fabric="carrier-pigeon")
 
     def test_reserve_per_block_avoids_regrow(self):
         topology = clos_for_blocks(2)
