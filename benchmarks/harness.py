@@ -63,7 +63,10 @@ _MODES = {
               "speedup_flows": 4_096, "speedup_ops": 6,
               "speedup_workers": (1, 2, 4),
               "socket_workers": (1, 2),
-              "barrier_steps": 300},
+              "barrier_steps": 300,
+              # I/O ping-pong over threads needs a long enough window
+              # that scheduler bursts average out (~0.2s per repeat).
+              "frame_batch_steps": 3_000},
     "full": {"warmup_iters": 50, "repeats": 3,
              "churn_ops": {1_000: 300, 10_000: 150, 100_000: 40},
              "multicore_ops": 40,
@@ -71,7 +74,8 @@ _MODES = {
              "speedup_flows": 32_768, "speedup_ops": 12,
              "speedup_workers": (1, 2, 4, 8, 16),
              "socket_workers": (1, 2, 4),
-             "barrier_steps": 1_200},
+             "barrier_steps": 1_200,
+             "frame_batch_steps": 8_000},
 }
 
 #: Benchmarks recorded in the JSON but *excluded* from the baseline
@@ -363,6 +367,152 @@ def bench_barrier_step(mode, n_workers=16):
     }
 
 
+# ----------------------------------------------------------------------
+# socket-fabric step exchange: per-peer batching vs per-frame sendall
+# ----------------------------------------------------------------------
+class _CountingSock:
+    """Socket proxy counting send/recv syscalls (selectors-compatible)."""
+
+    def __init__(self, sock):
+        self._sock = sock
+        self.send_calls = 0
+        self.recv_calls = 0
+
+    def send(self, data):
+        self.send_calls += 1
+        return self._sock.send(data)
+
+    def sendmsg(self, buffers):
+        self.send_calls += 1
+        return self._sock.sendmsg(buffers)
+
+    def recv_into(self, buf, nbytes=0):
+        self.recv_calls += 1
+        return self._sock.recv_into(buf, nbytes)
+
+    def fileno(self):
+        return self._sock.fileno()
+
+
+def bench_socket_frame_batch(mode, n_transfers=8, slice_len=260):
+    """One op = one schedule step's LinkBlock slices exchanged both
+    ways between two workers over a socketpair.
+
+    Measures the shipped protocol — ``n_transfers`` slices coalesced
+    into one :class:`~repro.parallel.fabric.PeerBatch` frame per peer,
+    driven by the nonblocking ``exchange_batches`` loop — against the
+    per-frame blocking ``send_frame``/``recv_frame`` protocol it
+    replaced, with send/recv syscalls counted on one side.  The
+    defaults mirror a 16-block grid at 2 workers: ~4 aggregation
+    transfers per direction per step (x2 arrays), 260-entry
+    LinkBlocks.  ``ops_per_sec`` (gated) is the batched steps/sec;
+    the per-frame figures are recorded alongside so the syscall
+    reduction stays auditable in ``BENCH_hotpath.json``.  The counted
+    figures are **send/recv syscalls only** — the batched loop also
+    spends ~3 selector ops (register/select/unregister) per step,
+    which the blocking per-frame path does not.
+    """
+    import socket as socketlib
+    import threading
+
+    from repro.parallel.fabric import (PeerBatch, RecvBatch, TAG_DATA,
+                                       exchange_batches, recv_frame,
+                                       send_frame)
+
+    config = _MODES[mode]
+    n_steps = config["frame_batch_steps"]
+    repeats = config["repeats"]
+    total_floats = n_transfers * slice_len
+    slices = [np.arange(slice_len, dtype=np.float64) + t
+              for t in range(n_transfers)]
+
+    def run_batched():
+        import selectors
+
+        a, b = socketlib.socketpair()
+        counted = _CountingSock(a)
+        for sock in (a, b):
+            sock.setblocking(False)
+        done = threading.Event()
+
+        def drive(sock, selector):
+            # Mirrors _SocketEndpoint.step_exchange: reusable batch
+            # buffers and a long-lived selector per worker.
+            out, inc = PeerBatch(), RecvBatch()
+            for _ in range(n_steps):
+                payload = out.stage(total_floats)
+                for t, part in enumerate(slices):
+                    payload[t * slice_len: (t + 1) * slice_len] = part
+                inc.stage(8 * total_floats)
+                exchange_batches({0: sock}, {0: out}, {0: inc},
+                                 timeout=120.0, selector=selector)
+
+        def peer_side():
+            with selectors.DefaultSelector() as selector:
+                drive(b, selector)
+            done.set()
+
+        thread = threading.Thread(target=peer_side, daemon=True)
+        thread.start()
+        start = time.perf_counter()
+        with selectors.DefaultSelector() as selector:
+            drive(counted, selector)
+        elapsed = time.perf_counter() - start
+        thread.join(timeout=120.0)
+        assert done.is_set(), "batched exchange wedged"
+        a.close()
+        b.close()
+        syscalls = (counted.send_calls + counted.recv_calls) / n_steps
+        return n_steps / elapsed, syscalls
+
+    def run_per_frame():
+        """The replaced protocol: every transfer its own blocking
+        frame, all sends issued before any read (safe here only
+        because the traffic fits default socket buffers)."""
+        a, b = socketlib.socketpair()
+        counted = _CountingSock(a)
+        done = threading.Event()
+
+        def peer_side():
+            for _ in range(n_steps):
+                for part in slices:
+                    send_frame(b, TAG_DATA, part)
+                for _ in range(n_transfers):
+                    recv_frame(b, expect=TAG_DATA)
+            done.set()
+
+        thread = threading.Thread(target=peer_side, daemon=True)
+        thread.start()
+        start = time.perf_counter()
+        for _ in range(n_steps):
+            for part in slices:
+                send_frame(counted, TAG_DATA, part)
+            for _ in range(n_transfers):
+                recv_frame(counted, expect=TAG_DATA)
+        elapsed = time.perf_counter() - start
+        thread.join(timeout=120.0)
+        assert done.is_set(), "per-frame exchange wedged"
+        a.close()
+        b.close()
+        syscalls = (counted.send_calls + counted.recv_calls) / n_steps
+        return n_steps / elapsed, syscalls
+
+    batched = [run_batched() for _ in range(repeats)]
+    per_frame = [run_per_frame() for _ in range(repeats)]
+    batched_ops = max(rate for rate, _ in batched)
+    per_frame_ops = max(rate for rate, _ in per_frame)
+    return {
+        "ops_per_sec": batched_ops,
+        "per_frame_ops_per_sec": per_frame_ops,
+        "speedup_vs_per_frame": batched_ops / per_frame_ops,
+        "send_recv_syscalls_per_step": batched[0][1],
+        "per_frame_send_recv_syscalls_per_step": per_frame[0][1],
+        "params": {"n_transfers": n_transfers, "slice_len": slice_len,
+                   "n_steps": n_steps,
+                   "payload_bytes_per_step": 8 * total_floats},
+    }
+
+
 BENCHMARKS = {
     "calibration": lambda mode: bench_calibration(mode),
     "iterate_churn_1k": lambda mode: bench_iterate_churn(1_000, mode),
@@ -371,6 +521,7 @@ BENCHMARKS = {
     "multicore_16proc": lambda mode: bench_multicore(mode),
     "fluid_ticks": lambda mode: bench_fluid_ticks(mode),
     "barrier_step": lambda mode: bench_barrier_step(mode),
+    "socket_frame_batch": lambda mode: bench_socket_frame_batch(mode),
     "parallel_speedup": lambda mode: bench_parallel_speedup(mode),
     "parallel_speedup_socket": lambda mode: bench_parallel_speedup(
         mode, fabric="socket", workers_key="socket_workers"),

@@ -132,6 +132,13 @@ class FlowTable:
         #: incremented on every add/remove; lets optimizers cache
         #: per-flow derived arrays between churn events.
         self.version = 0
+        # Opt-in dirty-row log (see start_change_log): the set of
+        # positional rows whose routes/weights/bottleneck changed since
+        # the last consume_changes().  ``None`` (the default) records
+        # nothing, so the common case pays one attribute check per
+        # churn call.
+        self._change_log = None
+        self._change_all = False
         # Scratch for the gather/scatter kernels: one flat
         # ``capacity x max_route_len`` float64 buffer reused by
         # price_sums / link_totals / max_link_value so the hot loop
@@ -198,6 +205,8 @@ class FlowTable:
         for column in self._columns:
             column._data[idx] = column.default
         self._bottleneck._data[idx] = self.links.capacity[route].min()
+        if self._change_log is not None:
+            self._change_log.add(idx)
         self._n += 1
         self.version += 1
         return idx
@@ -214,6 +223,8 @@ class FlowTable:
             self._index_of[moved_id] = idx
             for column in self._columns:
                 column._data[idx] = column._data[last]
+            if self._change_log is not None:
+                self._change_log.add(idx)
         self._ids[last] = None
         self._routes[last, :] = self.pad_link
         self._n -= 1
@@ -271,6 +282,8 @@ class FlowTable:
             self._weights[holes] = self._weights[movers]
             for column in self._columns:
                 column._data[holes] = column._data[movers]
+            if self._change_log is not None:
+                self._change_log.update(holes.tolist())
         for flow_id in ids:
             del index_of[flow_id]
         if content:
@@ -343,6 +356,8 @@ class FlowTable:
             # ids would make numpy broadcast them as nested sequences.
             self._ids[n0 + j] = flow_id
             self._index_of[flow_id] = n0 + j
+        if self._change_log is not None:
+            self._change_log.update(range(n0, n0 + k))
         self._n += k
         self.version += 1
 
@@ -350,6 +365,44 @@ class FlowTable:
         """Pre-grow storage to hold ``n_flows`` without reallocation."""
         while len(self._weights) < n_flows:
             self._grow()
+
+    # ------------------------------------------------------------------
+    # dirty-row tracking (delta-encoded churn publication)
+    # ------------------------------------------------------------------
+    def start_change_log(self):
+        """Begin (or reset) dirty-row tracking.
+
+        Afterwards every churn event records which positional rows it
+        touched, so a consumer that mirrors this table remotely (the
+        socket fabric's delta-encoded churn frames) can ship only the
+        changed rows plus the new flow count instead of a whole-cell
+        snapshot.  Rows that merely fell off the tail (the count
+        shrank) are conveyed by ``n_flows``, not logged.  Call again to
+        reset after publishing a full snapshot.
+        """
+        self._change_log = set()
+        self._change_all = False
+
+    def consume_changes(self):
+        """Drain the dirty-row log: ``(rows, all_changed)``.
+
+        ``rows`` is a sorted int64 array of logged positions still in
+        range (stale tail entries from shrinks are dropped);
+        ``all_changed`` is True when a whole-table invalidation
+        happened (:meth:`refresh_capacity` rewrites every bottleneck
+        entry) and the consumer should fall back to a full snapshot.
+        Requires :meth:`start_change_log`; resets the log.
+        """
+        log = self._change_log
+        if log is None:
+            raise RuntimeError("change tracking is off; call "
+                               "start_change_log() first")
+        all_changed = self._change_all
+        rows = np.array(sorted(i for i in log if i < self._n),
+                        dtype=np.int64)
+        log.clear()
+        self._change_all = False
+        return rows, all_changed
 
     def refresh_capacity(self):
         """Mark capacity-derived per-flow caches stale after link
@@ -362,6 +415,8 @@ class FlowTable:
         invalidate too.
         """
         self._capacity_dirty = True
+        if self._change_log is not None:
+            self._change_all = True  # bottleneck changes for every flow
         self.version += 1
 
     def _grow(self):

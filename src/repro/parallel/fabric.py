@@ -36,7 +36,14 @@ data dependencies, so ``step_barrier`` is a documented no-op there.
 Framing: every socket message is ``!II`` (payload length, tag) + raw
 payload.  Control messages (:data:`TAG_CTRL`) are pickled tuples; data
 messages (:data:`TAG_DATA`) are raw float64 slice bytes whose shape
-both ends derive from the plan, so the hot path never pickles.
+both ends derive from the plan, so the hot path never pickles.  On
+the hot path one :data:`TAG_DATA` frame is a **per-peer batch**: all
+slices a worker owes one peer within a schedule step, concatenated in
+plan order behind a single header (see :class:`PeerBatch`), written
+and read through a nonblocking :func:`exchange_batches` loop so a
+step can never deadlock on OS socket buffers.  Churn rides
+:data:`TAG_CTRL` frames as full-cell snapshots or delta-encoded row
+updates (see :func:`encode_cell_delta`).
 """
 
 from __future__ import annotations
@@ -44,11 +51,13 @@ from __future__ import annotations
 import os
 import pickle
 import secrets
+import selectors
 import socket as socketlib
 import struct
 import subprocess
 import sys
 import time
+import weakref
 
 import multiprocessing as mp
 
@@ -58,7 +67,10 @@ from .shm import SharedArena
 
 __all__ = ["FabricError", "SenseReversingBarrier", "SharedMemoryFabric",
            "SocketFabric", "LocalCluster", "measure_barrier_rate",
-           "send_frame", "recv_frame", "TAG_CTRL", "TAG_DATA"]
+           "send_frame", "recv_frame", "TAG_CTRL", "TAG_DATA",
+           "PeerBatch", "RecvBatch", "exchange_batches",
+           "encode_cell_snapshot", "encode_cell_delta",
+           "apply_cell_update"]
 
 
 class FabricError(RuntimeError):
@@ -74,6 +86,21 @@ _HEADER = struct.Struct("!II")
 TAG_CTRL = 1
 #: raw float64 LinkBlock-slice bytes (the hot path — never pickled).
 TAG_DATA = 2
+
+
+#: Connections poisoned by a partial-frame failure.  Once part of a
+#: frame is on the wire and the rest cannot follow, the byte stream is
+#: desynchronized: the peer would misparse everything sent later.  The
+#: connection object itself stays alive (callers may still be holding
+#: it), so membership here makes every subsequent framed operation
+#: raise :class:`FabricError` instead of silently corrupting frames.
+_POISONED = weakref.WeakSet()
+
+
+def _check_poisoned(sock):
+    if sock in _POISONED:
+        raise FabricError(
+            "connection poisoned by an earlier partial-frame failure")
 
 
 def _recv_exact(sock, n):
@@ -102,30 +129,45 @@ def send_frame(sock, tag, *parts):
 
     ``parts`` are bytes-like (bytes, memoryview, contiguous ndarray).
     The fast path hands header + parts to ``sendmsg`` (one writev-style
-    syscall, no concatenation copy); partial sends and platforms
-    without ``sendmsg`` fall back to flatten-and-sendall.
+    syscall, no concatenation copy).  A short write resumes from the
+    unsent tail — fully-sent views are dropped and the partial one is
+    sliced, O(parts) bookkeeping instead of re-flattening the frame —
+    and a failure after part of the frame reached the wire *poisons*
+    the connection: the stream is desynchronized mid-frame, so every
+    later framed send/recv on it raises :class:`FabricError`.
     """
+    _check_poisoned(sock)
     views = [memoryview(p).cast("B") for p in parts]
     header = _HEADER.pack(sum(v.nbytes for v in views), tag)
-    buffers = [header, *views]
+    buffers = [memoryview(header), *views]
+    sent_any = False
     try:
         if hasattr(sock, "sendmsg"):
-            total = len(header) + sum(v.nbytes for v in views)
-            sent = sock.sendmsg(buffers)
-            if sent == total:
-                return
-            flat = b"".join(buffers)
-            sock.sendall(flat[sent:])
+            while buffers:
+                sent = sock.sendmsg(buffers)
+                if sent:
+                    sent_any = True
+                while buffers and sent >= buffers[0].nbytes:
+                    sent -= buffers[0].nbytes
+                    buffers.pop(0)
+                if sent:
+                    buffers[0] = buffers[0][sent:]
         else:  # pragma: no cover - non-POSIX fallback
+            sent_any = True  # sendall's progress is unobservable
             sock.sendall(b"".join(buffers))
     except TimeoutError:
+        if sent_any:
+            _POISONED.add(sock)
         raise
     except OSError as exc:
+        if sent_any:
+            _POISONED.add(sock)
         raise FabricError(f"connection lost: {exc}") from exc
 
 
 def recv_frame(sock, expect=None):
     """Read one framed message; returns ``(tag, payload)``."""
+    _check_poisoned(sock)
     length, tag = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     payload = _recv_exact(sock, length)
     if expect is not None and tag != expect:
@@ -140,6 +182,260 @@ def send_ctrl(sock, obj):
 def recv_ctrl(sock):
     _, payload = recv_frame(sock, expect=TAG_CTRL)
     return pickle.loads(payload)
+
+
+# ----------------------------------------------------------------------
+# per-peer frame batching + the nonblocking step exchange
+# ----------------------------------------------------------------------
+class PeerBatch:
+    """One step's coalesced outgoing frame for a single peer.
+
+    All slices a worker owes one peer within a schedule step are
+    gathered into a single reusable buffer — one ``!II`` header, then
+    the slice bodies concatenated in transfer-plan order (both ends
+    derive every body's offset and length from the shared plan, so no
+    per-slice metadata is framed).  The buffer is sent through
+    :func:`exchange_batches` with nonblocking ``send`` calls that
+    resume from ``sent``, so a batch larger than the OS socket buffer
+    simply takes several partial writes interleaved with reads.
+    """
+
+    __slots__ = ("_buf", "_view", "size", "sent")
+
+    def __init__(self):
+        self._buf = bytearray(_HEADER.size)
+        self._view = memoryview(self._buf)
+        self.size = 0
+        self.sent = 0
+
+    def stage(self, n_floats):
+        """Reset for a new step; returns the float64 payload to fill."""
+        need = _HEADER.size + 8 * n_floats
+        if len(self._buf) < need:
+            self._buf = bytearray(max(need, 2 * len(self._buf)))
+            self._view = memoryview(self._buf)
+        _HEADER.pack_into(self._buf, 0, 8 * n_floats, TAG_DATA)
+        self.size = need
+        self.sent = 0
+        return np.frombuffer(self._buf, dtype=np.float64,
+                             count=n_floats, offset=_HEADER.size)
+
+    @property
+    def done(self):
+        return self.sent >= self.size
+
+    def send_some(self, sock):
+        """One nonblocking send of the unsent tail."""
+        self.sent += sock.send(self._view[self.sent: self.size])
+
+
+class RecvBatch:
+    """Receiving side of a :class:`PeerBatch`: a reusable buffer sized
+    from the transfer plan, filled by nonblocking partial reads."""
+
+    __slots__ = ("_buf", "_view", "size", "got")
+
+    def __init__(self):
+        self._buf = bytearray(_HEADER.size)
+        self._view = memoryview(self._buf)
+        self.size = 0
+        self.got = 0
+
+    def stage(self, payload_bytes):
+        need = _HEADER.size + payload_bytes
+        if len(self._buf) < need:
+            self._buf = bytearray(max(need, 2 * len(self._buf)))
+            self._view = memoryview(self._buf)
+        self.size = need
+        self.got = 0
+
+    @property
+    def done(self):
+        return self.got >= self.size
+
+    def recv_some(self, sock):
+        """One nonblocking read into the unfilled tail."""
+        k = sock.recv_into(self._view[self.got: self.size])
+        if k == 0:
+            raise FabricError("peer closed the connection mid-step")
+        self.got += k
+
+    def payload(self):
+        """Validated float64 view of the received batch body."""
+        length, tag = _HEADER.unpack_from(self._buf)
+        if tag != TAG_DATA or length != self.size - _HEADER.size:
+            raise FabricError(
+                f"batched frame mismatch: got tag {tag} length {length}, "
+                f"expected tag {TAG_DATA} length {self.size - _HEADER.size}")
+        return np.frombuffer(self._buf, dtype=np.float64,
+                             count=length // 8, offset=_HEADER.size)
+
+
+def exchange_batches(socks, outgoing, incoming, timeout=600.0,
+                     selector=None):
+    """Drive one step's batched sends and receives to completion.
+
+    ``socks`` maps peer id -> nonblocking socket; ``outgoing`` maps
+    peer id -> staged :class:`PeerBatch`; ``incoming`` maps peer id ->
+    staged :class:`RecvBatch`.  A ``selectors`` loop interleaves
+    partial writes with reads on every ready socket, so the exchange
+    is deadlock-free by construction: no matter how far a peer's
+    outgoing batch exceeds the OS socket buffers, this end keeps
+    draining its receive side, which is exactly what lets the peer's
+    writes (and hence its reads, and hence our writes) make progress.
+    Compare the sendall-first protocol this replaced, which wedged as
+    soon as a step's per-pair traffic outgrew ``SO_SNDBUF`` +
+    ``SO_RCVBUF``.
+    """
+    sel = selector if selector is not None else selectors.DefaultSelector()
+    registered = 0
+    try:
+        for peer in set(outgoing) | set(incoming):
+            mask = 0
+            out = outgoing.get(peer)
+            if out is not None and not out.done:
+                mask |= selectors.EVENT_WRITE
+            inc = incoming.get(peer)
+            if inc is not None and not inc.done:
+                mask |= selectors.EVENT_READ
+            if mask:
+                sel.register(socks[peer], mask, peer)
+                registered += 1
+        deadline = time.monotonic() + timeout
+        while registered:
+            # Checked every round, not just on idle polls: a peer
+            # dribbling one segment per poll must not extend the
+            # deadline forever.
+            if time.monotonic() > deadline:
+                raise FabricError(
+                    f"step exchange timed out after {timeout:.0f}s")
+            events = sel.select(timeout=min(1.0, timeout))
+            if not events:
+                continue
+            for key, mask in events:
+                peer = key.data
+                new_mask = key.events
+                try:
+                    if mask & selectors.EVENT_WRITE:
+                        out = outgoing[peer]
+                        out.send_some(key.fileobj)
+                        if out.done:
+                            new_mask &= ~selectors.EVENT_WRITE
+                    if mask & selectors.EVENT_READ:
+                        inc = incoming[peer]
+                        inc.recv_some(key.fileobj)
+                        if inc.done:
+                            new_mask &= ~selectors.EVENT_READ
+                except (BlockingIOError, InterruptedError):
+                    continue  # spurious readiness; retry next round
+                except FabricError:
+                    raise
+                except OSError as exc:
+                    raise FabricError(
+                        f"connection to peer {peer} lost: {exc}") from exc
+                if new_mask != key.events:
+                    if new_mask:
+                        sel.modify(key.fileobj, new_mask, peer)
+                    else:
+                        sel.unregister(key.fileobj)
+                        registered -= 1
+    except BaseException:
+        # Leave a caller-owned selector empty for the next step.
+        if selector is not None:
+            for peer in set(outgoing) | set(incoming):
+                try:
+                    sel.unregister(socks[peer])
+                except (KeyError, ValueError):
+                    pass
+        raise
+    finally:
+        if selector is None:
+            sel.close()
+
+
+# ----------------------------------------------------------------------
+# churn wire format: full-cell snapshots and delta-encoded row updates
+# ----------------------------------------------------------------------
+# A churn control frame carries a list of per-cell updates, each one of
+#
+#   ("snap",  row, n, version, routes, weights, bottleneck)
+#       unconditional whole-cell replacement (bootstrap, regrown cells,
+#       capacity refreshes that rewrite every bottleneck entry);
+#
+#   ("delta", row, n, base_version, version, rows,
+#             routes[rows], weights[rows], bottleneck[rows])
+#       only the positional rows that changed since ``base_version``,
+#       plus the new flow count ``n`` (tail shrinks need no row data).
+#       The receiver's version vector must read ``base_version`` for
+#       the cell — anything else means the delta chain skewed (a lost
+#       or reordered frame) and applying would corrupt the mirror, so
+#       the receiver raises instead.
+#
+# Cutting broadcast cost from O(cell) to O(changed rows) per cell is
+# what makes steady flowlet churn cheap over the wire: a burst touches
+# the swap-filled holes and the appended block, not every flow.
+
+
+def encode_cell_snapshot(row, table):
+    """Whole-cell churn update (unconditional replacement)."""
+    return ("snap", row, table.n_flows, table.version,
+            table.routes.copy(), table.weights.copy(),
+            np.array(table.bottleneck_capacity()))
+
+
+def encode_cell_delta(row, table, rows, base_version):
+    """Delta churn update: just ``rows`` (changed positions) and the
+    new count/version, against a mirror at ``base_version``."""
+    bottleneck = table.bottleneck_capacity()
+    return ("delta", row, table.n_flows, base_version, table.version,
+            rows, table.routes[rows], table.weights[rows],
+            bottleneck[rows])
+
+
+def apply_cell_update(update, plan, counts, versions):
+    """Apply one snapshot/delta to a worker-side cell mirror.
+
+    ``plan`` is the worker's :class:`~repro.parallel.process_backend.
+    CellPlan` for the cell; ``counts``/``versions`` are the worker's
+    per-cell vectors.  Raises :class:`FabricError` on version skew.
+    """
+    kind = update[0]
+    if kind == "snap":
+        _, row, n, version, routes, weights, bottleneck = update
+        plan.routes = routes
+        plan.weights = weights
+        plan.bottleneck = bottleneck
+    elif kind == "delta":
+        _, row, n, base, version, rows, routes_r, weights_r, bn_r = update
+        if int(versions[row]) != base:
+            raise FabricError(
+                f"churn delta for cell {row} expects version {base}, "
+                f"mirror is at {int(versions[row])} — skewed delta chain")
+        _ensure_cell_capacity(plan, n)
+        if len(rows):
+            plan.routes[rows] = routes_r
+            plan.weights[rows] = weights_r
+            plan.bottleneck[rows] = bn_r
+    else:  # pragma: no cover - defensive
+        raise FabricError(f"unknown churn update kind {kind!r}")
+    counts[row] = n
+    versions[row] = version
+
+
+def _ensure_cell_capacity(plan, n):
+    """Grow a socket worker's private cell arrays to hold ``n`` rows
+    (amortized doubling; snapshot-installed arrays start exact-size)."""
+    have = len(plan.weights)
+    if have >= n:
+        return
+    cap = max(n, 2 * have, 64)
+    routes = np.empty((cap, plan.routes.shape[1]), dtype=plan.routes.dtype)
+    routes[:have] = plan.routes
+    weights = np.empty(cap, dtype=np.float64)
+    weights[:have] = plan.weights
+    bottleneck = np.empty(cap, dtype=np.float64)
+    bottleneck[:have] = plan.bottleneck
+    plan.routes, plan.weights, plan.bottleneck = routes, weights, bottleneck
 
 
 # ----------------------------------------------------------------------
@@ -301,8 +597,9 @@ class _ShmEndpoint:
     """Worker view of a :class:`SharedMemoryFabric`.
 
     All arrays are the parent's shared-memory arrays (inherited over
-    ``fork``), so :meth:`publish` has nothing to do and :meth:`gather`
-    is a fancy-indexed read of the peer's row in place.
+    ``fork``), so publishing is implicit (the write *is* the
+    publication) and :meth:`step_exchange` is a fancy-indexed read of
+    each source row in place; the step is closed by a barrier round.
     """
 
     def __init__(self, conn, barrier, state):
@@ -319,13 +616,16 @@ class _ShmEndpoint:
     def step_barrier(self):
         self._barrier.wait()
 
-    def publish(self, kind, peer, src_row, idx):
-        pass  # shared memory: the write is the publication
-
-    def gather(self, kind, src_owner, src_row, idx):
+    def step_exchange(self, kind, send_groups, recvs):
+        """In-place reads; ``send_groups`` needs no action (fancy
+        indexing copies, so the staged parts are stable snapshots
+        even while peers apply concurrently within the step)."""
         if kind == "agg":
-            return self.load[src_row, idx], self.hessian[src_row, idx]
-        return (self.prices[src_row, idx],)
+            return [(dst_row, idx,
+                     (self.load[src_row, idx], self.hessian[src_row, idx]))
+                    for _, dst_row, src_row, idx in recvs]
+        return [(dst_row, idx, (self.prices[src_row, idx],))
+                for _, dst_row, src_row, idx in recvs]
 
     def recv_command(self):
         return self._conn.recv()
@@ -350,16 +650,23 @@ class _SocketEndpoint:
     """Worker view of a :class:`SocketFabric`.
 
     Owns private copies of the full matrices (rows it does not own are
-    only ever written by :meth:`gather`-received frames) plus one TCP
-    connection to the parent and one per peer worker.  Frame order per
-    peer pair is fixed by the shared transfer plan, so no tags beyond
-    the CTRL/DATA split are needed.
+    only ever written by received frames) plus one TCP connection to
+    the parent and one per peer worker.  Within a schedule step, all
+    slices owed to the same peer ride **one** :class:`PeerBatch` frame
+    and the whole step's sends and receives are driven through the
+    nonblocking :func:`exchange_batches` loop — partial writes
+    interleave with reads, so no amount of per-pair traffic can wedge
+    the mesh on OS socket buffers.  Frame layout per peer pair is
+    fixed by the shared transfer plan, so no per-slice metadata is
+    framed.
     """
 
     def __init__(self, worker_id, parent_sock, peers, n_procs, boot):
         self.worker_id = worker_id
         self._parent = parent_sock
-        self._peers = peers  # worker_id -> socket
+        self._peers = peers  # worker_id -> socket (nonblocking)
+        for sock in peers.values():
+            sock.setblocking(False)
         n_links = boot["n_links"]
         self.prices = np.ones((n_procs, n_links), dtype=np.float64)
         self.load = np.zeros((n_procs, n_links), dtype=np.float64)
@@ -368,9 +675,13 @@ class _SocketEndpoint:
         self.versions = np.full(n_procs, -1, dtype=np.int64)
         self.capacity = np.array(boot["capacity"], dtype=np.float64)
         self.idle_price = np.array(boot["idle_price"], dtype=np.float64)
-        # Reusable staging buffer for outgoing slices: one gather into
-        # it per publish, handed to sendmsg without further copies.
-        self._stage = np.empty(0, dtype=np.float64)
+        self._timeout = float(boot.get("timeout", 600.0))
+        self._selector = selectors.DefaultSelector()
+        # Reusable per-peer batch buffers and per-step prepared specs
+        # (sizes and offsets derived once from the static plans).
+        self._out_batches = {}
+        self._in_batches = {}
+        self._step_specs = {}
 
     def step_barrier(self):
         # Data dependencies between steps ride the frames themselves
@@ -378,30 +689,96 @@ class _SocketEndpoint:
         # it), so the socket fabric needs no barrier round.
         pass
 
-    def publish(self, kind, peer, src_row, idx):
-        k = len(idx)
-        if len(self._stage) < 2 * k:
-            self._stage = np.empty(2 * k, dtype=np.float64)
-        stage = self._stage
-        if kind == "agg":
-            np.take(self.load[src_row], idx, out=stage[:k])
-            np.take(self.hessian[src_row], idx, out=stage[k: 2 * k])
-            send_frame(self._peers[peer], TAG_DATA, stage[: 2 * k])
-        else:
-            np.take(self.prices[src_row], idx, out=stage[:k])
-            send_frame(self._peers[peer], TAG_DATA, stage[:k])
-
-    def gather(self, kind, src_owner, src_row, idx):
-        if src_owner == self.worker_id:
-            if kind == "agg":
-                return self.load[src_row, idx], self.hessian[src_row, idx]
-            return (self.prices[src_row, idx],)
-        _, payload = recv_frame(self._peers[src_owner], expect=TAG_DATA)
-        buf = np.frombuffer(payload, dtype=np.float64)
-        if kind == "agg":
+    def _prepare_step(self, kind, send_groups, recvs):
+        """Size one step's batches from the plan (cached: plans are
+        static for the worker's lifetime, so sizes are too)."""
+        mult = 2 if kind == "agg" else 1
+        out_specs = []
+        for peer, transfers in send_groups:
+            prepped = [(src_row, idx, len(idx)) for src_row, idx in transfers]
+            out_specs.append(
+                (peer, prepped, mult * sum(k for _, _, k in prepped)))
+        in_floats = {}
+        recv_specs = []
+        for src_owner, dst_row, src_row, idx in recvs:
             k = len(idx)
-            return buf[:k], buf[k:]
-        return (buf,)
+            recv_specs.append((src_owner, dst_row, src_row, idx, k))
+            if src_owner != self.worker_id:
+                in_floats[src_owner] = in_floats.get(src_owner, 0) + mult * k
+        return out_specs, sorted(in_floats.items()), recv_specs
+
+    def step_exchange(self, kind, send_groups, recvs):
+        """One schedule step: batch, exchange, slice out in plan order.
+
+        Returns ``[(dst_row, idx, parts), ...]`` aligned with
+        ``recvs``; ``parts`` is ``(load, hessian)`` for ``"agg"`` and
+        ``(prices,)`` for ``"dist"``.  Slices from peers are views
+        into the per-peer receive buffer (stable until the peer's next
+        batch); local slices are fancy-indexed copies.
+        """
+        key = (kind, id(recvs), id(send_groups))
+        entry = self._step_specs.get(key)
+        if entry is None:
+            # The cached entry pins the keyed plan objects, so their
+            # ids cannot be recycled while the cache can serve them.
+            entry = self._step_specs[key] = (
+                send_groups, recvs,
+                self._prepare_step(kind, send_groups, recvs))
+        out_specs, in_specs, recv_specs = entry[2]
+
+        outgoing = {}
+        for peer, transfers, total in out_specs:
+            batch = self._out_batches.get(peer)
+            if batch is None:
+                batch = self._out_batches[peer] = PeerBatch()
+            payload = batch.stage(total)
+            offset = 0
+            for src_row, idx, k in transfers:
+                if kind == "agg":
+                    np.take(self.load[src_row], idx,
+                            out=payload[offset: offset + k])
+                    np.take(self.hessian[src_row], idx,
+                            out=payload[offset + k: offset + 2 * k])
+                    offset += 2 * k
+                else:
+                    np.take(self.prices[src_row], idx,
+                            out=payload[offset: offset + k])
+                    offset += k
+            outgoing[peer] = batch
+        incoming = {}
+        for peer, total in in_specs:
+            batch = self._in_batches.get(peer)
+            if batch is None:
+                batch = self._in_batches[peer] = RecvBatch()
+            batch.stage(8 * total)
+            incoming[peer] = batch
+        if outgoing or incoming:
+            exchange_batches(self._peers, outgoing, incoming,
+                             timeout=self._timeout,
+                             selector=self._selector)
+
+        results = []
+        offsets = dict.fromkeys(incoming, 0)
+        payloads = {peer: batch.payload()
+                    for peer, batch in incoming.items()}
+        for src_owner, dst_row, src_row, idx, k in recv_specs:
+            if src_owner == self.worker_id:
+                if kind == "agg":
+                    parts = (self.load[src_row, idx],
+                             self.hessian[src_row, idx])
+                else:
+                    parts = (self.prices[src_row, idx],)
+            else:
+                buf = payloads[src_owner]
+                o = offsets[src_owner]
+                if kind == "agg":
+                    parts = (buf[o: o + k], buf[o + k: o + 2 * k])
+                    offsets[src_owner] = o + 2 * k
+                else:
+                    parts = (buf[o: o + k],)
+                    offsets[src_owner] = o + k
+            results.append((dst_row, idx, parts))
+        return results
 
     def recv_command(self):
         return recv_ctrl(self._parent)
@@ -414,13 +791,9 @@ class _SocketEndpoint:
 
     def apply_churn(self, payload, plans):
         by_row = {plan.row: plan for plan in plans}
-        for row, n, version, routes, weights, bottleneck in payload["cells"]:
-            plan = by_row[row]
-            plan.routes = routes
-            plan.weights = weights
-            plan.bottleneck = bottleneck
-            self.counts[row] = n
-            self.versions[row] = version
+        for update in payload["cells"]:
+            apply_cell_update(update, by_row[update[1]], self.counts,
+                              self.versions)
         if payload.get("capacity") is not None:
             self.capacity[:] = payload["capacity"]
             self.idle_price[:] = payload["idle_price"]
@@ -429,6 +802,7 @@ class _SocketEndpoint:
         pass  # closing our sockets cascades EOFs through the mesh
 
     def shutdown(self):
+        self._selector.close()
         for sock in self._peers.values():
             _close_quietly(sock)
         _close_quietly(self._parent)
@@ -441,17 +815,58 @@ def _close_quietly(sock):
         pass
 
 
-def _connect_retry(address, attempts=50, delay=0.1):
+def _clamp_buffers(sock, sockbuf):
+    """Apply an explicit ``SO_SNDBUF``/``SO_RCVBUF`` size (testing aid:
+    the deadlock regression shrinks buffers below one step's per-pair
+    traffic; the kernel may round the request up to its minimum).
+
+    Also clamps ``TCP_MAXSEG``: loopback's ~64KB MSS dwarfs a
+    few-KB receive window, so silly-window-syndrome avoidance would
+    never reopen the window and every transfer would crawl along
+    200ms persist-timer probes — a timing artifact, not the flow
+    control being exercised.  A small MSS restores ordinary window
+    updates while keeping the in-flight byte bound the test wants.
+    Must run *before* ``connect`` so the clamp lands in the SYN."""
+    if sockbuf:
+        sock.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_SNDBUF,
+                        int(sockbuf))
+        sock.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_RCVBUF,
+                        int(sockbuf))
+        try:
+            sock.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_MAXSEG,
+                            536)
+        except OSError:  # pragma: no cover - non-TCP socket
+            pass
+
+
+def _connect_retry(address, attempts=50, delay=0.1, sockbuf=None):
+    """``socket.create_connection`` semantics (every ``getaddrinfo``
+    candidate across families is tried) with retries, plus the buffer
+    clamp applied *before* connect so it lands in the SYN."""
+    host, port = tuple(address)
     last = None
     for _ in range(attempts):
         try:
-            sock = socketlib.create_connection(address, timeout=30.0)
-            sock.settimeout(None)
-            sock.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY, 1)
-            return sock
+            candidates = socketlib.getaddrinfo(
+                host, port, type=socketlib.SOCK_STREAM)
         except OSError as exc:
             last = exc
             time.sleep(delay)
+            continue
+        for family, socktype, proto, _, sockaddr in candidates:
+            sock = socketlib.socket(family, socktype, proto)
+            try:
+                _clamp_buffers(sock, sockbuf)
+                sock.settimeout(30.0)
+                sock.connect(sockaddr)
+            except OSError as exc:
+                last = exc
+                sock.close()
+                continue
+            sock.settimeout(None)
+            sock.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY, 1)
+            return sock
+        time.sleep(delay)
     raise FabricError(f"cannot reach {address}: {last}")
 
 
@@ -459,7 +874,7 @@ def _connect_retry(address, attempts=50, delay=0.1):
 _TOKEN_LEN = 16
 
 
-def _accept_authenticated(listener, token, deadline):
+def _accept_authenticated(listener, token, deadline, sockbuf=None):
     """Accept until a connection presents ``token``; others are closed.
 
     The token check runs *before* any pickled frame is read, so a
@@ -486,11 +901,12 @@ def _accept_authenticated(listener, token, deadline):
             continue
         sock.settimeout(None)
         sock.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY, 1)
+        _clamp_buffers(sock, sockbuf)
         return sock
 
 
 def _socket_worker_entry(host, port, worker_id, bind_host="127.0.0.1",
-                         token=b""):
+                         token=b"", sockbuf=None):
     """Entry point of one socket-fabric worker.
 
     Needs only the parent's address and the fabric token: it connects,
@@ -500,11 +916,22 @@ def _socket_worker_entry(host, port, worker_id, bind_host="127.0.0.1",
     capable — run this function (or ``python -m
     repro.parallel.socket_worker HOST PORT ID`` with the token in
     ``$REPRO_FABRIC_TOKEN``) on any machine that can reach the parent.
+
+    ``sockbuf`` (testing aid; the launcher forwards
+    ``SocketFabric(sockbuf=)`` via argument or
+    ``$REPRO_FABRIC_SOCKBUF``) clamps the mesh sockets' buffers/MSS.
+    Passing it here clamps the listener *before it is ever
+    advertised*, so every accepted mesh connection inherits the clamp
+    at SYN time; a hand-started worker that only learns the value
+    from its boot frame gets a best-effort post-boot clamp instead
+    (a peer that dials in the window between ``hello`` and the boot
+    read misses the SYN-time MSS clamp).
     """
     from .process_backend import worker_loop
 
     listener = socketlib.socket()
     listener.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_REUSEADDR, 1)
+    _clamp_buffers(listener, sockbuf)
     listener.bind((bind_host, 0))
     listener.listen(64)
     parent = _connect_retry((host, port))
@@ -514,15 +941,19 @@ def _socket_worker_entry(host, port, worker_id, bind_host="127.0.0.1",
     boot = recv_ctrl(parent)
 
     peers = {}
+    if sockbuf is None:
+        sockbuf = boot.get("sockbuf")
+        _clamp_buffers(listener, sockbuf)  # best-effort (see docstring)
     for j, address in boot["peers"].items():
         if j < worker_id:
-            sock = _connect_retry(tuple(address))
+            sock = _connect_retry(tuple(address), sockbuf=sockbuf)
             sock.sendall(token)
             send_ctrl(sock, ("peer", worker_id))
             peers[j] = sock
     deadline = time.monotonic() + 60.0
     for _ in range(boot["n_workers"] - 1 - worker_id):
-        sock = _accept_authenticated(listener, token, deadline)
+        sock = _accept_authenticated(listener, token, deadline,
+                                     sockbuf=sockbuf)
         tag, j = recv_ctrl(sock)
         if tag != "peer":  # pragma: no cover - defensive
             raise FabricError(f"unexpected mesh handshake {tag!r}")
@@ -719,24 +1150,32 @@ class SocketFabric:
     know nothing but the parent's address — byte-for-byte the same
     protocol a remote host would speak.
 
-    Flow-control caveat: within a schedule step a worker writes all
-    its outgoing frames (blocking ``sendall``) before reading any
-    incoming ones, relying on OS socket buffering to absorb the step's
-    traffic between each worker pair.  LinkBlock slices are a few KB
-    at the grids this repo runs, orders of magnitude below default
-    buffer sizes; a deployment with very large LinkBlocks or tiny TCP
-    windows would need the per-peer frame batching noted in the
-    ROADMAP to stay deadlock-free.
+    The step exchange is deadlock-free by construction: a worker
+    coalesces everything it owes one peer within a schedule step into
+    a single :class:`PeerBatch` frame and drives all of the step's
+    sends and receives through the nonblocking
+    :func:`exchange_batches` loop, interleaving partial writes with
+    reads — so per-pair step traffic may exceed ``SO_SNDBUF`` +
+    ``SO_RCVBUF`` arbitrarily (the small-buffer regression test clamps
+    both below one step's traffic and still completes).  Churn is
+    delta-encoded: after a cell's first full snapshot, only changed
+    rows plus the new count/version ship (see the wire-format notes
+    above :func:`encode_cell_snapshot`).
+
+    ``sockbuf`` (testing aid) clamps every fabric socket's
+    ``SO_SNDBUF``/``SO_RCVBUF`` to the given byte count.
     """
 
     name = "socket"
 
-    def __init__(self, timeout=600.0, host="127.0.0.1", launcher="fork"):
+    def __init__(self, timeout=600.0, host="127.0.0.1", launcher="fork",
+                 sockbuf=None):
         if launcher not in ("fork", "subprocess"):
             raise ValueError(f"unknown launcher {launcher!r}")
         self.timeout = float(timeout)
         self.host = host
         self.launcher = launcher
+        self.sockbuf = sockbuf
         self.workers = []
         self._conns = {}
         # Per-run shared secret, presented as raw bytes on every new
@@ -781,7 +1220,8 @@ class SocketFabric:
                 ctx = mp.get_context("fork")
                 process = ctx.Process(
                     target=_socket_worker_entry,
-                    args=(self.host, self.port, w, self.host, self._token),
+                    args=(self.host, self.port, w, self.host, self._token,
+                          self.sockbuf),
                     daemon=True, name=f"ned-sockworker-{w}")
                 process.start()
             else:
@@ -791,6 +1231,8 @@ class SocketFabric:
                 env["PYTHONPATH"] = src_root + os.pathsep + \
                     env.get("PYTHONPATH", "")
                 env["REPRO_FABRIC_TOKEN"] = self.token_hex
+                if self.sockbuf:
+                    env["REPRO_FABRIC_SOCKBUF"] = str(int(self.sockbuf))
                 process = subprocess.Popen(
                     [sys.executable, "-m", "repro.parallel.socket_worker",
                      self.host, str(self.port), str(w), self.host],
@@ -800,6 +1242,10 @@ class SocketFabric:
         deadline = time.monotonic() + 60.0
         addresses = {}
         for _ in range(n_workers):
+            # Control connections stay unclamped even under
+            # ``sockbuf``: the deadlock being regression-tested lives
+            # on the worker mesh (the step data path), and throttling
+            # bootstrap/churn/price frames would only slow tests down.
             sock = _accept_authenticated(self._listener, self._token,
                                          deadline)
             tag, worker_id, address = recv_ctrl(sock)
@@ -816,27 +1262,41 @@ class SocketFabric:
                 "n_links": consts["n_links"],
                 "capacity": consts.pop("_capacity"),
                 "idle_price": consts.pop("_idle_price"),
+                "timeout": self.timeout,
+                "sockbuf": self.sockbuf,
                 "consts": consts,
             }
             send_ctrl(self._conns[w], boot)
 
     # -- parent-side operations --------------------------------------
     def sync_churn(self, cell_tables, owner_of_row):
-        """Snapshot and frame every cell whose table version moved
-        since its last publication (plus any queued capacity update)."""
+        """Frame every cell whose table version moved since its last
+        publication (plus any queued capacity update).
+
+        The first publication of a cell is a full snapshot, which also
+        arms the table's dirty-row log; afterwards only the changed
+        rows ship (:func:`encode_cell_delta`), falling back to a fresh
+        snapshot when the whole table was invalidated (capacity
+        refresh rewrites every bottleneck entry).
+        """
         capacity = idle_price = None
         if self._capacity_update is not None:
             capacity, idle_price = self._capacity_update
         self._capacity_update = None
         per_worker = {}
         for row, table in cell_tables:
-            if table.version == self._published_version.get(row):
+            base = self._published_version.get(row)
+            if table.version == base:
                 continue
+            if base is None:
+                table.start_change_log()
+                update = encode_cell_snapshot(row, table)
+            else:
+                rows, all_changed = table.consume_changes()
+                update = (encode_cell_snapshot(row, table) if all_changed
+                          else encode_cell_delta(row, table, rows, base))
             self._published_version[row] = table.version
-            cell = (row, table.n_flows, table.version,
-                    table.routes.copy(), table.weights.copy(),
-                    np.array(table.bottleneck_capacity()))
-            per_worker.setdefault(owner_of_row[row], []).append(cell)
+            per_worker.setdefault(owner_of_row[row], []).append(update)
         for w, conn in self._conns.items():
             cells = per_worker.get(w, [])
             if not cells and capacity is None:

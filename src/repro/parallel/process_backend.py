@@ -13,7 +13,9 @@ it on a persistent pool of **real worker processes**:
   array in ``multiprocessing.shared_memory`` and synchronizes steps
   with a sense-reversing flag-array barrier; ``fabric="socket"`` keeps
   worker state private and moves the same LinkBlock slices as
-  length-prefixed TCP frames, which is multi-host capable;
+  length-prefixed TCP frames — one batched payload per peer per step,
+  driven by a nonblocking send/recv loop — which is multi-host capable
+  and deadlock-free regardless of OS socket buffer sizes;
 * one iteration follows the exact phase structure of the simulated
   engine: local Equation-3 rate work, the fig. 3 diagonal aggregation
   schedule, the Equation-4 price update on the authoritative diagonal
@@ -136,14 +138,17 @@ def _compute_cell_rates(plan, fabric, consts, scratch):
 def _one_iteration(plans, fabric, consts):
     """One full engine iteration from a single worker's point of view.
 
-    The loop is fabric-neutral: ``publish`` makes an owned row slice
-    available to the destination's owner (a no-op in shared memory, a
-    TCP frame over sockets), ``gather`` obtains a source slice (an
-    in-place read, or the matching frame), and ``step_barrier`` closes
-    each step (a sense-reversing barrier round, or nothing — frames
-    already carry the step-to-step dependencies).  The float reduction
-    order is identical across fabrics and matches the simulated
-    engine's phase structure exactly.
+    The loop is fabric-neutral: each schedule step hands the fabric
+    its **per-peer frame groups** (every transfer this worker owes
+    each peer, in plan order) plus the ordered receive list, and
+    ``step_exchange`` returns the gathered parts aligned with the
+    receives — an in-place shared-memory read for the shm fabric, one
+    batched nonblocking frame per peer pair for the socket fabric.
+    ``step_barrier`` closes each step (a sense-reversing barrier
+    round, or nothing — socket frames already carry the step-to-step
+    dependencies).  Transfers within a step touch disjoint LinkBlock
+    slices, so the float reduction order is identical across fabrics
+    and matches the simulated engine's phase structure exactly.
     """
     scratch = consts["scratch"]
     for plan in plans:
@@ -151,12 +156,9 @@ def _one_iteration(plans, fabric, consts):
     fabric.step_barrier()
 
     load, hessian = fabric.load, fabric.hessian
-    for sends, recvs in consts["agg_plan"]:
-        for peer, src_row, idx in sends:
-            fabric.publish("agg", peer, src_row, idx)
-        for src_owner, dst_row, src_row, idx in recvs:
-            load_part, hessian_part = fabric.gather("agg", src_owner,
-                                                    src_row, idx)
+    for send_groups, recvs in consts["agg_plan"]:
+        for dst_row, idx, (load_part, hessian_part) in \
+                fabric.step_exchange("agg", send_groups, recvs):
             load[dst_row, idx] += load_part
             hessian[dst_row, idx] += hessian_part
         fabric.step_barrier()
@@ -168,11 +170,9 @@ def _one_iteration(plans, fabric, consts):
                          consts["gamma"])
     fabric.step_barrier()
 
-    for sends, recvs in consts["dist_plan"]:
-        for peer, src_row, idx in sends:
-            fabric.publish("dist", peer, src_row, idx)
-        for src_owner, dst_row, src_row, idx in recvs:
-            (prices_part,) = fabric.gather("dist", src_owner, src_row, idx)
+    for send_groups, recvs in consts["dist_plan"]:
+        for dst_row, idx, (prices_part,) in \
+                fabric.step_exchange("dist", send_groups, recvs):
             prices[dst_row, idx] = prices_part
         fabric.step_barrier()
 
@@ -298,17 +298,21 @@ class ProcessBackend(ParallelBackend):
                 table=table, prices=self.fabric.processor_prices(i))
 
         # Fabric-neutral transfer plans.  Within each fig. 3 step a
-        # worker first publishes the slices it owns whose destination
-        # lives elsewhere, then gathers + applies every transfer whose
-        # destination it owns.  Both sides of a pair derive their frame
-        # order from this same list, so socket streams need no tags.
+        # worker stages every slice it owns whose destination lives
+        # elsewhere — grouped **per destination peer**, so the socket
+        # fabric frames one batched payload per pair — then gathers +
+        # applies every transfer whose destination it owns.  Both
+        # sides of a pair derive the batch layout from this same plan
+        # (the per-peer group order here is the step's transfer order
+        # filtered to that pair on both ends), so frames carry no
+        # per-slice metadata.
         owner = self._owner_of_row
         row_of = self._row_of
 
         def split(steps):
             per_worker = [[] for _ in range(self.n_workers)]
             for step in steps:
-                sends = [[] for _ in range(self.n_workers)]
+                sends = [{} for _ in range(self.n_workers)]
                 recvs = [[] for _ in range(self.n_workers)]
                 for t in step:
                     src_row = row_of[t.src]
@@ -317,11 +321,13 @@ class ProcessBackend(ParallelBackend):
                     src_owner = owner[src_row]
                     dst_owner = owner[dst_row]
                     if src_owner != dst_owner:
-                        sends[src_owner].append((dst_owner, src_row, idx))
+                        sends[src_owner].setdefault(dst_owner, []) \
+                            .append((src_row, idx))
                     recvs[dst_owner].append((src_owner, dst_row, src_row,
                                              idx))
                 for w in range(self.n_workers):
-                    per_worker[w].append((sends[w], recvs[w]))
+                    send_groups = sorted(sends[w].items())
+                    per_worker[w].append((send_groups, recvs[w]))
             return per_worker
 
         agg_plans = split(engine._agg_steps)

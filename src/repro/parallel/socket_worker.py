@@ -22,8 +22,34 @@ import sys
 
 from .fabric import _socket_worker_entry
 
+_TOKEN_ENV = "REPRO_FABRIC_TOKEN"
+
+
+def parse_token(value):
+    """Decode the fabric token from ``$REPRO_FABRIC_TOKEN``.
+
+    Fails fast with a message naming the env var: a missing or empty
+    value would otherwise decode to ``b""`` and the parent's auth
+    check would silently drop the worker (it never learns why), and a
+    non-hex or odd-length value is certainly a copy-paste accident.
+    """
+    if not value:
+        raise SystemExit(
+            f"{_TOKEN_ENV} is not set (or empty): export the parent's "
+            "SocketFabric.token_hex before starting a worker — without "
+            "it the parent silently drops this worker's connection")
+    try:
+        return bytes.fromhex(value)
+    except ValueError:
+        raise SystemExit(
+            f"{_TOKEN_ENV} is not a valid hex token (got {value!r}): "
+            "it must be the parent's SocketFabric.token_hex, an "
+            "even-length hex string") from None
+
+
 if __name__ == "__main__":
+    token = parse_token(os.environ.get(_TOKEN_ENV))
+    sockbuf = os.environ.get("REPRO_FABRIC_SOCKBUF")
     _socket_worker_entry(sys.argv[1], int(sys.argv[2]), int(sys.argv[3]),
                          sys.argv[4] if len(sys.argv) > 4 else "127.0.0.1",
-                         bytes.fromhex(
-                             os.environ.get("REPRO_FABRIC_TOKEN", "")))
+                         token, int(sockbuf) if sockbuf else None)

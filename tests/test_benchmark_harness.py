@@ -90,6 +90,21 @@ class TestFabricBenchmarks:
         assert result["speedup_vs_mp_barrier"] == pytest.approx(
             result["ops_per_sec"] / result["mp_barrier_ops_per_sec"])
 
+    def test_socket_frame_batch_is_registered_and_gated(self):
+        assert "socket_frame_batch" in harness.BENCHMARKS
+        assert "socket_frame_batch" not in harness.UNGATED
+
+    def test_socket_frame_batch_coalesces_syscalls(self):
+        """The tentpole claim in miniature: the batched step exchange
+        must issue strictly fewer syscalls per step than per-frame
+        sendall/recv, and the per-frame comparison ships alongside."""
+        result = harness.bench_socket_frame_batch(
+            "quick", n_transfers=4, slice_len=64)
+        assert result["ops_per_sec"] > 0
+        assert result["per_frame_ops_per_sec"] > 0
+        assert result["send_recv_syscalls_per_step"] \
+            < result["per_frame_send_recv_syscalls_per_step"]
+
 
 class TestTrend:
     def artifact(self, tmp_path, run, scores, mode="quick"):

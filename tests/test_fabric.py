@@ -213,13 +213,308 @@ class TestFraming:
             b.close()
 
 
+class _ShortWriteSock:
+    """``sendmsg`` stub accepting ``chunk`` bytes per call; can fail
+    after N calls.  Records every byte accepted, so tests can assert
+    the partial-resume logic reassembles the exact frame."""
+
+    def __init__(self, chunk, fail_after=None, error=TimeoutError):
+        self.chunk = chunk
+        self.fail_after = fail_after
+        self.error = error
+        self.calls = 0
+        self.sent = bytearray()
+
+    def sendmsg(self, buffers):
+        self.calls += 1
+        if self.fail_after is not None and self.calls > self.fail_after:
+            raise self.error("stub failure")
+        taken = 0
+        for view in buffers:
+            take = min(len(view), self.chunk - taken)
+            self.sent += bytes(view[:take])
+            taken += take
+            if taken == self.chunk:
+                break
+        return taken
+
+
+class TestSendFramePartialWrites:
+    def test_short_writes_resume_from_the_unsent_tail(self):
+        """A drip-feeding socket still gets the byte-exact frame: the
+        fallback drops sent views and slices the partial one instead
+        of re-flattening (and re-sending) the whole frame."""
+        payload = np.arange(100, dtype=np.float64)
+        sock = _ShortWriteSock(chunk=7)
+        send_frame(sock, TAG_DATA, payload)
+        from repro.parallel.fabric import _HEADER
+        expected = _HEADER.pack(payload.nbytes, TAG_DATA) + payload.tobytes()
+        assert bytes(sock.sent) == expected
+        assert sock.calls == -(-len(expected) // 7)  # ceil: no resends
+
+    def test_partial_frame_failure_poisons_the_connection(self):
+        """A timeout after part of the frame hit the wire leaves the
+        stream desynchronized — every later framed use must raise
+        FabricError instead of corrupting the peer's stream."""
+        sock = _ShortWriteSock(chunk=7, fail_after=2)
+        with pytest.raises(TimeoutError):
+            send_frame(sock, TAG_DATA, np.arange(100, dtype=np.float64))
+        with pytest.raises(FabricError, match="poisoned"):
+            send_frame(sock, TAG_DATA, b"anything")
+        with pytest.raises(FabricError, match="poisoned"):
+            recv_frame(sock)
+
+    def test_clean_failure_does_not_poison(self):
+        """If nothing reached the wire the stream is still framed —
+        the connection stays usable (e.g. a transient ENOBUFS)."""
+        sock = _ShortWriteSock(chunk=7, fail_after=0,
+                               error=BrokenPipeError)
+        with pytest.raises(FabricError):
+            send_frame(sock, TAG_DATA, b"payload")
+        sock.fail_after = None
+        send_frame(sock, TAG_DATA, b"payload")  # not poisoned
+        assert bytes(sock.sent).endswith(b"payload")
+
+
+class TestBatchedExchange:
+    """The tentpole mechanism: per-peer batch frames driven by the
+    nonblocking selectors loop, deadlock-free at any buffer size."""
+
+    @staticmethod
+    def _clamped_pair(sockbuf=4096):
+        a, b = socketlib.socketpair()
+        for sock in (a, b):
+            sock.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_SNDBUF,
+                            sockbuf)
+            sock.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_RCVBUF,
+                            sockbuf)
+            sock.setblocking(False)
+        return a, b
+
+    def test_exchange_far_beyond_clamped_buffers(self):
+        """Both ends owe each other ~32x the clamped socket buffers
+        within one step.  The sendall-first protocol this replaced
+        wedges here (neither side reads until its writes complete);
+        the interleaved loop must finish and deliver exact bytes."""
+        import threading
+        from repro.parallel.fabric import (PeerBatch, RecvBatch,
+                                           exchange_batches)
+        n = 64_000  # 512 KB per direction
+        a, b = self._clamped_pair()
+        try:
+            payload_a = np.arange(n, dtype=np.float64)
+            payload_b = -payload_a
+            received = {}
+
+            def run_side(name, sock, outgoing_data):
+                out = PeerBatch()
+                out.stage(n)[:] = outgoing_data
+                inc = RecvBatch()
+                inc.stage(8 * n)
+                exchange_batches({0: sock}, {0: out}, {0: inc},
+                                 timeout=60.0)
+                received[name] = inc.payload().copy()
+
+            thread = threading.Thread(
+                target=run_side, args=("b", b, payload_b), daemon=True)
+            thread.start()
+            run_side("a", a, payload_a)
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), "exchange wedged"
+            np.testing.assert_array_equal(received["a"], payload_b)
+            np.testing.assert_array_equal(received["b"], payload_a)
+        finally:
+            a.close()
+            b.close()
+
+    def test_asymmetric_exchange(self):
+        """One side only sends, the other only receives — the loop
+        must complete with single-direction registrations too."""
+        import threading
+        from repro.parallel.fabric import (PeerBatch, RecvBatch,
+                                           exchange_batches)
+        n = 32_000
+        a, b = self._clamped_pair()
+        try:
+            data = np.linspace(0.0, 1.0, n)
+            out = PeerBatch()
+            out.stage(n)[:] = data
+            inc = RecvBatch()
+            inc.stage(8 * n)
+            thread = threading.Thread(
+                target=exchange_batches,
+                args=({0: b}, {}, {0: inc}), kwargs={"timeout": 60.0},
+                daemon=True)
+            thread.start()
+            exchange_batches({0: a}, {0: out}, {}, timeout=60.0)
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+            np.testing.assert_array_equal(inc.payload(), data)
+        finally:
+            a.close()
+            b.close()
+
+    def test_dead_peer_raises_not_hangs(self):
+        from repro.parallel.fabric import RecvBatch, exchange_batches
+        a, b = self._clamped_pair()
+        inc = RecvBatch()
+        inc.stage(1024)
+        a.close()
+        try:
+            with pytest.raises(FabricError):
+                exchange_batches({0: b}, {}, {0: inc}, timeout=5.0)
+        finally:
+            b.close()
+
+
+class TestDeltaChurnCodec:
+    """encode/decode of the delta-encoded churn wire format."""
+
+    @staticmethod
+    def _table(n_links=8):
+        from repro.core.network import FlowTable, LinkSet
+        return FlowTable(LinkSet(np.full(n_links, 10.0)), max_route_len=3)
+
+    @staticmethod
+    def _mirror():
+        from repro.parallel.process_backend import CellPlan
+        plan = CellPlan(0)
+        counts = np.zeros(1, dtype=np.int64)
+        versions = np.full(1, -1, dtype=np.int64)
+        return plan, counts, versions
+
+    @staticmethod
+    def _assert_mirrors(plan, counts, table):
+        n = int(counts[0])
+        assert n == table.n_flows
+        np.testing.assert_array_equal(plan.routes[:n], table.routes)
+        np.testing.assert_array_equal(plan.weights[:n], table.weights)
+        np.testing.assert_array_equal(plan.bottleneck[:n],
+                                      table.bottleneck_capacity())
+
+    def test_snapshot_then_delta_roundtrip(self):
+        from repro.parallel.fabric import (apply_cell_update,
+                                           encode_cell_delta,
+                                           encode_cell_snapshot)
+        table = self._table()
+        for i in range(6):
+            table.add_flow(i, [i % 8, (i + 1) % 8], weight=1.0 + i)
+        plan, counts, versions = self._mirror()
+        apply_cell_update(encode_cell_snapshot(0, table), plan, counts,
+                          versions)
+        self._assert_mirrors(plan, counts, table)
+        table.start_change_log()
+
+        # Mixed churn: swap-remove holes + appended block.
+        base = table.version
+        table.apply_churn(starts=[(10, [3, 4], 2.5), (11, [5])],
+                          ends=[1, 4])
+        rows, all_changed = table.consume_changes()
+        assert not all_changed and len(rows) < table.n_flows
+        apply_cell_update(
+            encode_cell_delta(0, table, rows, base), plan, counts,
+            versions)
+        self._assert_mirrors(plan, counts, table)
+
+        # Growth far past the mirror's capacity (delta must regrow).
+        base = table.version
+        table.apply_churn(starts=[(100 + i, [i % 8]) for i in range(40)])
+        rows, all_changed = table.consume_changes()
+        apply_cell_update(
+            encode_cell_delta(0, table, rows, base), plan, counts,
+            versions)
+        self._assert_mirrors(plan, counts, table)
+
+    def test_empty_delta_ships_count_and_version_only(self):
+        from repro.parallel.fabric import (apply_cell_update,
+                                           encode_cell_delta,
+                                           encode_cell_snapshot)
+        table = self._table()
+        for i in range(3):
+            table.add_flow(i, [i])
+        plan, counts, versions = self._mirror()
+        apply_cell_update(encode_cell_snapshot(0, table), plan, counts,
+                          versions)
+        table.start_change_log()
+        base = table.version
+        table.remove_flow(2)  # last row: a pure tail shrink
+        rows, all_changed = table.consume_changes()
+        assert len(rows) == 0 and not all_changed
+        update = encode_cell_delta(0, table, rows, base)
+        apply_cell_update(update, plan, counts, versions)
+        assert counts[0] == 2 and versions[0] == table.version
+        self._assert_mirrors(plan, counts, table)
+
+    def test_version_skew_raises(self):
+        """A delta against the wrong base would corrupt the mirror —
+        the receiver must refuse it loudly."""
+        from repro.parallel.fabric import (apply_cell_update,
+                                           encode_cell_delta,
+                                           encode_cell_snapshot)
+        table = self._table()
+        table.add_flow(0, [0])
+        plan, counts, versions = self._mirror()
+        apply_cell_update(encode_cell_snapshot(0, table), plan, counts,
+                          versions)
+        table.start_change_log()
+        table.add_flow(1, [1])
+        rows, _ = table.consume_changes()
+        stale = encode_cell_delta(0, table, rows,
+                                  base_version=table.version + 7)
+        with pytest.raises(FabricError, match="skew"):
+            apply_cell_update(stale, plan, counts, versions)
+
+    def test_capacity_refresh_falls_back_to_snapshot(self):
+        """refresh_capacity rewrites every bottleneck entry, so the
+        change log reports all_changed and the publisher snapshots."""
+        table = self._table()
+        for i in range(4):
+            table.add_flow(i, [i])
+        table.start_change_log()
+        table.links.capacity *= 0.5
+        table.refresh_capacity()
+        _, all_changed = table.consume_changes()
+        assert all_changed
+
+
+class TestSocketWorkerTokenValidation:
+    """A bad $REPRO_FABRIC_TOKEN must fail fast and loudly — not
+    decode to b"" and get silently dropped by the parent's auth."""
+
+    @staticmethod
+    def _run_worker(token):
+        import subprocess
+        import sys as sysmod
+        from pathlib import Path
+        env = dict(os.environ)
+        env.pop("REPRO_FABRIC_TOKEN", None)
+        if token is not None:
+            env["REPRO_FABRIC_TOKEN"] = token
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sysmod.executable, "-m", "repro.parallel.socket_worker",
+             "127.0.0.1", "1", "0"],
+            capture_output=True, text=True, env=env, timeout=60)
+
+    @pytest.mark.parametrize("token", [None, "", "abc", "not-hex!"])
+    def test_bad_token_fails_fast_naming_the_env_var(self, token):
+        result = self._run_worker(token)
+        assert result.returncode != 0
+        assert "REPRO_FABRIC_TOKEN" in result.stderr
+
+    def test_parse_token_accepts_valid_hex(self):
+        from repro.parallel.socket_worker import parse_token
+        assert parse_token("00ff" * 8) == bytes.fromhex("00ff" * 8)
+
+
 # ----------------------------------------------------------------------
 # per-fabric step costs
 # ----------------------------------------------------------------------
 class TestFabricStepCosts:
-    def test_socket_messages_cost_more_than_shm(self):
-        assert FABRIC_COSTS["socket"].per_message_us \
-            > FABRIC_COSTS["shm"].per_message_us
+    def test_socket_batches_cost_more_than_shm(self):
+        assert FABRIC_COSTS["socket"].per_batch_us \
+            > FABRIC_COSTS["shm"].per_batch_us
         assert FABRIC_COSTS["socket"].per_entry_us \
             > FABRIC_COSTS["shm"].per_entry_us
 
@@ -234,6 +529,18 @@ class TestFabricStepCosts:
             estimates = [fabric_iteration_us(c, fabric) for c in configs]
             assert estimates == sorted(estimates)
             assert estimates[0] > 0
+
+    def test_fewer_workers_coalesce_socket_batches(self):
+        """Per-peer batching: when few workers own many cells, a
+        step's transfers collapse into at most W*(W-1) pair frames,
+        so the fixed syscall term shrinks; the shm estimate (in-place
+        reads, no framing) is indifferent to worker count."""
+        config = BenchConfig.from_row(64, 1536, 12288)
+        full = fabric_iteration_us(config, "socket")
+        batched = fabric_iteration_us(config, "socket", n_workers=3)
+        assert batched < full
+        assert fabric_iteration_us(config, "shm", n_workers=3) \
+            == fabric_iteration_us(config, "shm")
 
     def test_shm_barriers_dominate_small_grids(self):
         """On a small grid the shm cost is mostly synchronization —

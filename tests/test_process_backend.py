@@ -202,6 +202,52 @@ class TestCrossBackendEquivalence:
             for flow_id, rate in engine.rates().items():
                 assert rate == pytest.approx(expected[flow_id], rel=RTOL)
 
+    def test_small_socket_buffers_cannot_deadlock_a_step(self):
+        """The socket-fabric deadlock regression: ``SO_SNDBUF`` /
+        ``SO_RCVBUF`` clamped far below one step's per-pair traffic on
+        a 16-block grid.  The sendall-first protocol this repo used to
+        ship wedges here — each worker blocked writing before reading
+        anything — so completion itself is the assertion, plus the
+        usual 1e-9 equivalence to the simulated engine through mid-run
+        churn."""
+        sockbuf = 2048
+        # One direction's in-flight bytes are bounded by the sender's
+        # send buffer plus the receiver's receive buffer; Linux doubles
+        # the setsockopt request but also enforces floors (4608 snd /
+        # 2304 rcv), so this is what the clamped mesh can absorb.
+        in_flight = max(2 * sockbuf, 4608) + max(2 * sockbuf, 2304)
+        topology = clos_for_blocks(4, racks_per_block=2,
+                                   hosts_per_rack=128)
+        batches = churn_schedule(topology, seed=6, rounds=2, burst=30,
+                                 n_initial=60)
+        simulated = MulticoreNedEngine(topology, 4)
+        r_sim, p_sim = run_schedule(simulated, batches, 3)
+        with MulticoreNedEngine(
+                topology, 4, backend="process", n_workers=2,
+                fabric="socket",
+                fabric_options={"sockbuf": sockbuf,
+                                "timeout": 120.0}) as engine:
+            # The premise: one step's batched traffic between the two
+            # workers really exceeds what the clamped mesh can hold.
+            row_of = engine.backend._row_of
+            owner = engine.backend._owner_of_row
+            links = engine.partition.links_per_block
+            worst = 0
+            for step in engine._agg_steps:
+                counts = {}
+                for t in step:
+                    pair = (owner[row_of[t.src]], owner[row_of[t.dst]])
+                    if pair[0] != pair[1]:
+                        counts[pair] = counts.get(pair, 0) + 1
+                worst = max(worst, max(counts.values(), default=0))
+            assert worst * 2 * links * 8 > 1.5 * in_flight, \
+                "test premise broken: step traffic fits the buffers"
+            r_proc, p_proc = run_schedule(engine, batches, 3)
+            assert r_proc.keys() == r_sim.keys()
+            for flow_id, rate in r_proc.items():
+                assert rate == pytest.approx(r_sim[flow_id], rel=RTOL)
+            np.testing.assert_allclose(p_proc, p_sim, rtol=RTOL)
+
     @pytest.mark.slow
     @pytest.mark.parametrize("n_workers,fabric", [
         (4, "shm"), (5, "shm"), (16, "shm"), (4, "socket"),
