@@ -45,6 +45,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np  # noqa: E402
 
+import report  # noqa: E402
 from _common import bench_environment  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
@@ -158,14 +159,18 @@ def _random_route(topology, rng, flow_id):
     return topology.route(src, dst, flow_id)
 
 
-def bench_iterate_churn(n_flows, mode, seed=17):
-    """One op = one churn batch (1 % of flows end, 1 % start) followed
-    by one ``iterate()`` — the §6.2 steady-state allocator loop."""
+def _churn_setup(n_flows, total_batches, mode, seed=17):
+    """Warmed-up allocator plus ``total_batches`` pre-computed churn
+    batches for the §6.2 steady-state loop (shared by the benchmark
+    and ``--profile``).
+
+    Routes are pre-computed so the timed loop measures allocator work,
+    not ``topology.route()``.
+    """
     from repro.core import FlowtuneAllocator
     from repro.topology import TwoTierClos
 
     config = _MODES[mode]
-    n_ops = config["churn_ops"][n_flows]
     topology = TwoTierClos(n_racks=9, hosts_per_rack=16, n_spines=4)
     allocator = FlowtuneAllocator(topology.link_set())
     rng = np.random.default_rng(seed)
@@ -175,9 +180,6 @@ def bench_iterate_churn(n_flows, mode, seed=17):
     allocator.iterate(config["warmup_iters"])
 
     churn = max(1, n_flows // 100)
-    # Pre-compute every batch's routes so the timed loop measures
-    # allocator work, not topology.route().
-    total_batches = (config["repeats"] + 1) * n_ops + 2
     batches = []
     next_id = n_flows
     oldest = 0
@@ -189,6 +191,16 @@ def bench_iterate_churn(n_flows, mode, seed=17):
         oldest += churn
         next_id += churn
         batches.append((starts, ends))
+    return allocator, batches, churn
+
+
+def bench_iterate_churn(n_flows, mode, seed=17):
+    """One op = one churn batch (1 % of flows end, 1 % start) followed
+    by one ``iterate()`` — the §6.2 steady-state allocator loop."""
+    config = _MODES[mode]
+    n_ops = config["churn_ops"][n_flows]
+    allocator, batches, churn = _churn_setup(
+        n_flows, (config["repeats"] + 1) * n_ops + 2, mode, seed)
 
     def op(i):
         starts, ends = batches[i]
@@ -199,6 +211,99 @@ def bench_iterate_churn(n_flows, mode, seed=17):
     return {"ops_per_sec": ops,
             "params": {"n_flows": n_flows, "churn_per_op": churn,
                        "n_ops": n_ops, "seed": seed}}
+
+
+# ----------------------------------------------------------------------
+# --profile: per-kernel breakdown of the churn iterate
+# ----------------------------------------------------------------------
+def profile_churn_iterate(n_flows, mode, seed=17, out=None):
+    """Time every FlowTable kernel inside the iterate-under-churn op.
+
+    Wraps the table's kernel entry points (and the allocator/optimizer
+    phase boundaries) with accumulating timers, replays the same
+    churn-batch loop ``bench_iterate_churn`` times, and prints a
+    per-kernel table: total ms, ms per op, share of the op.  This is
+    how the *next* optimization target gets measured instead of
+    guessed.  Nested entries overlap their parents (``csr_sync`` runs
+    inside the first kernel that touches a stale index; kernels run
+    inside ``optimizer.iterate``/``normalize``), so the parent rows
+    are context, not disjoint buckets.
+    """
+    out = out if out is not None else sys.stdout
+    n_ops = max(10, min(40, _MODES[mode]["churn_ops"].get(n_flows, 20)))
+    allocator, batches, churn = _churn_setup(n_flows, n_ops + 2, mode,
+                                             seed)
+    table = allocator.table
+
+    times, calls = {}, {}
+
+    def wrap(obj, name, label):
+        inner = getattr(obj, name)
+
+        def timed(*args, **kwargs):
+            t0 = time.perf_counter()
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                times[label] = times.get(label, 0.0) \
+                    + (time.perf_counter() - t0)
+                calls[label] = calls.get(label, 0) + 1
+        setattr(obj, name, timed)
+
+    wrap(table, "_sync_csr", "csr_sync")
+    wrap(table, "price_sums", "price_sums")
+    wrap(table, "link_totals", "link_totals")
+    wrap(table, "link_totals2", "link_totals2")
+    wrap(table, "max_link_value", "max_link_value")
+    wrap(table, "apply_churn", "churn_apply")
+    wrap(allocator.optimizer, "iterate", "optimizer.iterate")
+
+    # ``self.normalizer(...)`` resolves __call__ on the type, so wrap
+    # by swapping the attribute for a timing callable instead.
+    inner_normalizer = allocator.normalizer
+
+    def timed_normalizer(table, rates, link_load=None):
+        t0 = time.perf_counter()
+        try:
+            return inner_normalizer(table, rates, link_load=link_load)
+        finally:
+            times["normalize"] = times.get("normalize", 0.0) \
+                + (time.perf_counter() - t0)
+            calls["normalize"] = calls.get("normalize", 0) + 1
+    allocator.normalizer = timed_normalizer
+
+    t0 = time.perf_counter()
+    for i in range(n_ops):
+        starts, ends = batches[i]
+        allocator.apply_churn(starts=starts, ends=ends)
+        allocator.iterate(1)
+    wall = time.perf_counter() - t0
+
+    kernels = ("csr_sync", "price_sums", "link_totals", "link_totals2",
+               "max_link_value")
+    phases = ("churn_apply", "optimizer.iterate", "normalize")
+    rows = []
+    for label in kernels + phases:
+        if label not in times:
+            continue
+        total = times[label]
+        rows.append([label, calls[label], f"{1000 * total:.1f}",
+                     f"{1000 * total / n_ops:.3f}",
+                     f"{100 * total / wall:.1f}%"])
+    accounted = sum(times.get(label, 0.0) for label in phases)
+    rows.append(["other (threshold mask, ids, loop)", n_ops,
+                 f"{1000 * (wall - accounted):.1f}",
+                 f"{1000 * (wall - accounted) / n_ops:.3f}",
+                 f"{100 * (wall - accounted) / wall:.1f}%"])
+    print(f"profile: {n_ops} ops of churn({churn}) + iterate(1) at "
+          f"{n_flows} flows, {1000 * wall / n_ops:.2f} ms/op "
+          f"({n_ops / wall:.1f} ops/sec)", file=out)
+    print(report.format_table(
+        ["kernel", "calls", "total ms", "ms/op", "share"], rows),
+        file=out)
+    print("(kernel rows nest inside the phase rows; csr_sync also "
+          "counts inside the kernel that triggered it)", file=out)
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -573,6 +678,51 @@ def compare(results, baseline_results, tolerance, require_all=True):
     return rows, regressions
 
 
+def step_summary_markdown(results, baseline_results, tolerance, mode):
+    """Markdown score table for ``$GITHUB_STEP_SUMMARY``.
+
+    One row per benchmark: raw ops/sec, the normalized score the gate
+    compares, the baseline floor (baseline score minus tolerance) and
+    the delta vs the baseline score — so a drifting-but-passing run
+    is visible in the CI run page without downloading the artifact.
+    ``UNGATED`` benchmarks report their headline number plus, for the
+    parallel-speedup entries, the measured per-worker speedups the
+    §6.1 table needs.
+    """
+    cal = results.get("calibration", {}).get("ops_per_sec")
+    base = relative_scores(baseline_results) if baseline_results else {}
+    rows = []
+    for name, entry in sorted(results.items()):
+        if name == "calibration":
+            continue
+        ops = entry["ops_per_sec"]
+        ops_s = f"{ops:,.1f}"
+        if name in UNGATED or cal is None:
+            detail = "ungated"
+            speedups = entry.get("speedup_vs_single_core")
+            if speedups:
+                detail = "ungated; speedup vs 1-core: " + " ".join(
+                    f"{w}w={s:.2f}x" for w, s in sorted(
+                        speedups.items(), key=lambda kv: int(kv[0])))
+            rows.append([name, ops_s, None, None, None, detail])
+            continue
+        score = ops / cal
+        if name in base:
+            floor = base[name] * (1.0 - tolerance)
+            delta = 100.0 * (score / base[name] - 1.0)
+            status = "ok" if score >= floor else "**REGRESSION**"
+            rows.append([name, ops_s, f"{score:.4f}", f"{floor:.4f}",
+                         f"{delta:+.1f}%", status])
+        else:
+            rows.append([name, ops_s, f"{score:.4f}", None, None, "new"])
+    table = report.format_table(
+        ["benchmark", "ops/sec", "score", "floor", "Δ vs base", "status"],
+        rows, markdown=True)
+    return (f"### Hot-path benchmarks ({mode} mode)\n\n{table}\n\n"
+            "scores are ops/sec normalized by the calibration kernel; "
+            f"floor = baseline score − {tolerance:.0%}\n")
+
+
 def print_comparison(rows, tolerance):
     print(f"\n{'benchmark':<24} {'now':>10} {'baseline':>10} "
           f"{'ratio':>7}  status (gate: ratio >= {1 - tolerance:.2f})")
@@ -600,12 +750,22 @@ def main(argv=None):
                         help="baseline JSON to compare against")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write this run's results as the baseline")
-    parser.add_argument("--only", action="append", metavar="NAME",
+    parser.add_argument("--only", action="extend", nargs="+",
+                        metavar="NAME", default=None,
                         help="run just the named benchmark(s); "
                              "calibration always runs")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-kernel breakdown of one "
+                             "iterate-under-churn op and exit (no "
+                             "benchmarks, no JSON)")
+    parser.add_argument("--profile-flows", type=int, default=100_000,
+                        metavar="N",
+                        help="flow count for --profile (default 100000)")
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
+    if args.profile:
+        return profile_churn_iterate(args.profile_flows, mode)
     names = list(BENCHMARKS)
     if args.only and args.update_baseline:
         parser.error("--update-baseline requires the full benchmark set "
@@ -639,6 +799,14 @@ def main(argv=None):
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output} ({wall:.1f}s total)")
 
+    summary_baseline = None
+    if args.baseline.exists():
+        summary_baseline = json.loads(args.baseline.read_text()) \
+            .get("modes", {}).get(mode, {}).get("results")
+    # On CI, surface the score table in the run page (no-op locally).
+    report.write_step_summary(step_summary_markdown(
+        results, summary_baseline, args.tolerance, mode))
+
     # The baseline file keeps one entry per mode: quick and full
     # scores are not comparable (different warmup and op counts), so
     # each lane gates against a baseline recorded in its own mode.
@@ -654,10 +822,7 @@ def main(argv=None):
         print(f"baseline updated ({mode} mode): {args.baseline}")
         return 0
 
-    base_results = None
-    if args.baseline.exists():
-        base_results = json.loads(args.baseline.read_text()) \
-            .get("modes", {}).get(mode, {}).get("results")
+    base_results = summary_baseline
     if base_results is not None:
         rows, regressions = compare(results, base_results, args.tolerance,
                                     require_all=not args.only)

@@ -37,6 +37,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import report  # noqa: E402
 from harness import DEFAULT_BASELINE, relative_scores  # noqa: E402
 
 _RUN_NUMBER = re.compile(r"bench-hotpath-(\d+)(?:-(\d+))?")
@@ -125,21 +126,23 @@ def render(series, baseline_scores=None, tolerance=0.30, out=None):
     names = sorted({name for _, scores in series for name in scores})
     labels = [label for label, _ in series]
     print(f"{len(series)} runs: {labels[0]} .. {labels[-1]}", file=out)
-    print(f"{'benchmark':<24} {'first':>9} {'latest':>9} {'Δ%':>7} "
-          f"{'floor':>9}  trend", file=out)
     breaching = []
+    rows = []
     for name in names:
         values = [scores[name] for _, scores in series if name in scores]
         first, latest = values[0], values[-1]
         delta = 100.0 * (latest / first - 1.0) if first else float("nan")
-        floor_s = f"{'-':>9}"
+        floor_s = None
         if baseline_scores and name in baseline_scores:
             floor = baseline_scores[name] * (1.0 - tolerance)
-            floor_s = f"{floor:9.4f}"
+            floor_s = f"{floor:.4f}"
             if latest < floor:
                 breaching.append(name)
-        print(f"{name:<24} {first:9.4f} {latest:9.4f} {delta:+6.1f}% "
-              f"{floor_s}  {sparkline(values)}", file=out)
+        rows.append([name, f"{first:.4f}", f"{latest:.4f}",
+                     f"{delta:+.1f}%", floor_s, sparkline(values)])
+    print(report.format_table(
+        ["benchmark", "first", "latest", "Δ%", "floor", "trend"], rows),
+        file=out)
     print("(scores are ops/sec normalized by the calibration kernel; "
           "floor = committed baseline - tolerance)", file=out)
     return breaching

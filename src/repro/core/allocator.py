@@ -139,6 +139,21 @@ class FlowtuneAllocator:
             kwargs.setdefault("gamma", gamma)
         self.optimizer = optimizer_cls(self.table, utility=utility, **kwargs)
         self.normalizer = normalizer if normalizer is not None else FNormalizer()
+        # Thread the optimizer's per-link load into the normalizer
+        # (saves F-NORM's re-scatter of the very rates the price
+        # update just scattered) — but only when the normalizer's
+        # signature accepts it, so legacy two-argument callables work.
+        try:
+            # signature() on the callable itself follows __call__ for
+            # instances and reports real parameters for plain
+            # functions (inspecting .__call__ directly would see the
+            # generic (*args, **kwargs) method-wrapper for those).
+            params = inspect.signature(self.normalizer).parameters.values()
+            self._normalizer_takes_load = any(
+                p.name == "link_load" or p.kind == p.VAR_KEYWORD
+                for p in params)
+        except (TypeError, ValueError):  # builtins, odd callables
+            self._normalizer_takes_load = False
         # Positionally-aligned per-flow state, maintained by the flow
         # table under swap-remove churn: the rate each endpoint was
         # last notified of (NaN = never notified) and whether the flow
@@ -190,7 +205,13 @@ class FlowtuneAllocator:
         when its rate leaves ``[(1-t)*last, (1+t)*last]``.
         """
         raw = self.optimizer.iterate(n)
-        normalized = self.normalizer(self.table, raw)
+        if self._normalizer_takes_load:
+            loader = getattr(self.optimizer, "link_load_for", None)
+            normalized = self.normalizer(
+                self.table, raw,
+                link_load=loader(raw) if loader is not None else None)
+        else:
+            normalized = self.normalizer(self.table, raw)
         # O(1) view of the table's positionally-aligned id column —
         # the per-iterate list rebuild this replaces used to cost a
         # full O(n_flows) copy whether or not anyone read the ids.

@@ -78,8 +78,16 @@ class NedOptimizer(PriceOptimizer):
         return self.table.link_totals(per_flow)
 
     def _update_prices(self, rates):
-        over = self.over_allocation(rates)
-        hessian = self.hessian_diagonal()
+        # One fused CSR pass for both scatters: the rates (load) and
+        # rate derivatives (Hessian diagonal) ride identical indices,
+        # and the load is memoized for the allocator's normalizer.
+        # Same floats as over_allocation + hessian_diagonal.
+        table = self.table
+        rho = self.effective_price_sums()
+        per_flow = self.utility.rate_derivative(rho, table.weights)
+        load, hessian = table.link_totals2(rates, per_flow)
+        self._load_memo = (table.version, rates, load)
+        over = load - table.links.capacity
         carrying = hessian < 0.0
         # H_ll < 0, so G/H_ll has the opposite sign of G; subtracting it
         # raises the price of an over-allocated link (Equation 4).

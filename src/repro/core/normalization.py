@@ -37,18 +37,24 @@ __all__ = ["link_ratios", "u_norm", "f_norm", "Normalizer",
 _EPSILON = 1e-12
 
 
-def link_ratios(table: FlowTable, rates):
-    """Per-link allocation-to-capacity ratios ``r_l`` (Equation 8)."""
-    load = table.link_totals(rates)
+def link_ratios(table: FlowTable, rates, link_load=None):
+    """Per-link allocation-to-capacity ratios ``r_l`` (Equation 8).
+
+    ``link_load`` short-circuits the scatter when the caller already
+    holds ``table.link_totals(rates)`` — the allocator threads the
+    price update's load through so one iterate scatters rates once.
+    """
+    load = link_load if link_load is not None else table.link_totals(rates)
     return load / table.links.capacity
 
 
-def u_norm(table: FlowTable, rates, allow_scale_up: bool = True):
+def u_norm(table: FlowTable, rates, allow_scale_up: bool = True,
+           link_load=None):
     """Uniform normalization (Equation 8): all flows / worst ratio."""
     rates = np.asarray(rates, dtype=np.float64)
     if len(rates) == 0:
         return rates.copy()
-    worst = float(np.max(link_ratios(table, rates)))
+    worst = float(np.max(link_ratios(table, rates, link_load=link_load)))
     if worst <= _EPSILON:
         return rates.copy()
     if not allow_scale_up:
@@ -56,12 +62,13 @@ def u_norm(table: FlowTable, rates, allow_scale_up: bool = True):
     return rates / worst
 
 
-def f_norm(table: FlowTable, rates, allow_scale_up: bool = True):
+def f_norm(table: FlowTable, rates, allow_scale_up: bool = True,
+           link_load=None):
     """Per-flow normalization (Equation 9): each flow / its worst link."""
     rates = np.asarray(rates, dtype=np.float64)
     if len(rates) == 0:
         return rates.copy()
-    ratios = link_ratios(table, rates)
+    ratios = link_ratios(table, rates, link_load=link_load)
     per_flow_worst = table.max_link_value(ratios)
     per_flow_worst = np.maximum(per_flow_worst, _EPSILON)
     if not allow_scale_up:
@@ -70,11 +77,18 @@ def f_norm(table: FlowTable, rates, allow_scale_up: bool = True):
 
 
 class Normalizer:
-    """Callable normalization policy (fig. 13 compares the subclasses)."""
+    """Callable normalization policy (fig. 13 compares the subclasses).
+
+    ``link_load`` is an optional precomputed ``table.link_totals(rates)``
+    (the allocator passes the price update's own scatter); subclasses
+    that don't consume it must still accept it.  Two-argument legacy
+    normalizers keep working — the allocator inspects the signature
+    and only threads the load through when it is accepted.
+    """
 
     name = "none"
 
-    def __call__(self, table: FlowTable, rates):
+    def __call__(self, table: FlowTable, rates, link_load=None):
         raise NotImplementedError
 
 
@@ -84,8 +98,9 @@ class UNormalizer(Normalizer):
     def __init__(self, allow_scale_up: bool = True):
         self.allow_scale_up = allow_scale_up
 
-    def __call__(self, table, rates):
-        return u_norm(table, rates, allow_scale_up=self.allow_scale_up)
+    def __call__(self, table, rates, link_load=None):
+        return u_norm(table, rates, allow_scale_up=self.allow_scale_up,
+                      link_load=link_load)
 
 
 class FNormalizer(Normalizer):
@@ -94,8 +109,9 @@ class FNormalizer(Normalizer):
     def __init__(self, allow_scale_up: bool = True):
         self.allow_scale_up = allow_scale_up
 
-    def __call__(self, table, rates):
-        return f_norm(table, rates, allow_scale_up=self.allow_scale_up)
+    def __call__(self, table, rates, link_load=None):
+        return f_norm(table, rates, allow_scale_up=self.allow_scale_up,
+                      link_load=link_load)
 
 
 class NullNormalizer(Normalizer):
@@ -103,5 +119,5 @@ class NullNormalizer(Normalizer):
 
     name = "none"
 
-    def __call__(self, table, rates):
+    def __call__(self, table, rates, link_load=None):
         return np.asarray(rates, dtype=np.float64).copy()

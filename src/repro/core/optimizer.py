@@ -69,6 +69,11 @@ class PriceOptimizer:
         # shared (NED's Hessian diagonal needs the very same rho).
         self._rho_memo = None
         self._rho_memo_active = False
+        # The last (table version, rates vector, per-link load) this
+        # optimizer scattered — lets the allocator's normalizer reuse
+        # the price update's link load instead of re-scattering the
+        # same rates (see link_load_for).
+        self._load_memo = None
 
     def _rate_caps(self):
         if self._cap_cache_version != self.table.version:
@@ -119,7 +124,25 @@ class PriceOptimizer:
 
     def over_allocation(self, rates):
         """Per-link ``G_l = (sum of rates through l) - c_l``."""
-        return self.table.link_totals(rates) - self.table.links.capacity
+        load = self.table.link_totals(rates)
+        self._load_memo = (self.table.version, rates, load)
+        return load - self.table.links.capacity
+
+    def link_load_for(self, rates):
+        """The per-link load last scattered for exactly this ``rates``
+        vector at the current table version, or ``None``.
+
+        Identity-keyed: ``rates`` must be the very object the price
+        update scattered (mutating it in place afterwards would make
+        the memo silently stale, so don't).  The allocator uses this
+        to hand F-NORM the load the optimizer just computed — the
+        third per-iterate scatter of identical values, dropped.
+        """
+        memo = self._load_memo
+        if (memo is not None and memo[0] == self.table.version
+                and memo[1] is rates):
+            return memo[2]
+        return None
 
     # ------------------------------------------------------------------
     # iteration driver

@@ -92,8 +92,17 @@ class NedRtOptimizer(_Float32RateMixin, NedOptimizer):
         self.prices = self.prices.astype(np.float32)
 
     def _update_prices(self, rates):
-        over = self.over_allocation(rates).astype(np.float32)
-        hessian = self.hessian_diagonal().astype(np.float32)
+        # Same fused CSR pair scatter as the float64 NED (rates and
+        # rate derivatives share indices; the float32 per-flow values
+        # are staged through the float64 kernels exactly as before),
+        # with the results then narrowed to float32.
+        table = self.table
+        rho = self.effective_price_sums()
+        per_flow = self.utility.rate_derivative(rho, table.weights)
+        load, hessian64 = table.link_totals2(rates, per_flow)
+        self._load_memo = (table.version, rates, load)
+        over = (load - table.links.capacity).astype(np.float32)
+        hessian = hessian64.astype(np.float32)
         carrying = hessian < 0.0
         inv_h = np.zeros_like(hessian)
         inv_h[carrying] = -fast_reciprocal(-hessian[carrying])

@@ -325,8 +325,8 @@ class MulticoreNedEngine:
                 rho = np.maximum(rho, self._price_floor(proc))
                 rates = self.utility.rate(rho, table.weights)
                 derivative = self.utility.rate_derivative(rho, table.weights)
-                proc.partial_load = table.link_totals(rates)
-                proc.partial_hessian = table.link_totals(derivative)
+                proc.partial_load, proc.partial_hessian = \
+                    table.link_totals2(rates, derivative)
             else:
                 proc.partial_load = np.zeros(self.links.n_links)
                 proc.partial_hessian = np.zeros(self.links.n_links)

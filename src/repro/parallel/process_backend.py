@@ -62,11 +62,15 @@ class CellPlan:
 
     Under the shm fabric the arrays are shared-memory views inherited
     over ``fork``; under the socket fabric they are private arrays
-    installed by churn frames.
+    installed by churn frames.  The CSR route-index cache mirrors
+    ``FlowTable._route_index`` — derived, worker-private, keyed on the
+    cell's published version — so the worker kernels iterate the same
+    pad-free view the single-process kernels do.
     """
 
     __slots__ = ("row", "routes", "weights", "bottleneck", "floor",
-                 "floor_version", "_keepalive")
+                 "floor_version", "csr_indices", "csr_rows",
+                 "csr_version", "_keepalive")
 
     def __init__(self, row, routes=None, weights=None, bottleneck=None):
         self.row = row
@@ -75,6 +79,9 @@ class CellPlan:
         self.bottleneck = bottleneck
         self.floor = None
         self.floor_version = None
+        self.csr_indices = None
+        self.csr_rows = None
+        self.csr_version = None
         self._keepalive = None
 
     def rebind(self, manifest):
@@ -85,6 +92,7 @@ class CellPlan:
         self.routes = arrays["routes"]
         self.weights = arrays["weights"]
         self.bottleneck = arrays["column0"]  # FlowTable's bottleneck
+        self.csr_version = None  # growth always bumps the version too
         self._keepalive = keepalive
 
 
@@ -92,11 +100,16 @@ def _compute_cell_rates(plan, fabric, consts, scratch):
     """Phase 1 for one cell: Equation-3 rates and G/H partials.
 
     Mirrors the simulated engine's use of ``FlowTable.price_sums`` /
-    ``link_totals`` — same padded gather into a persistent scratch
-    buffer, same ``(n, L)`` axis-1 sum, same ``bincount`` scatter — so
-    the floats come out identical *and* the steady-state allocation
+    ``link_totals2`` — the same version-cached uniform-slot CSR view
+    (slack slots carry the pad link, bitwise-neutral in every kernel),
+    the same ``bincount`` row-segment sum for rho and link scatter for
+    the G/H partials, gathering through the same persistent scratch —
+    so the floats come out identical *and* the steady-state allocation
     profile matches the single-core kernels (only the small reduction
-    outputs are allocated per iteration).
+    outputs are allocated per iteration).  The cell's CSR cache is
+    rebuilt whole whenever the published version moves (cells are
+    1/n_procs of the population; the parent-side tables do the finer
+    incremental maintenance).
     """
     n = int(fabric.counts[plan.row])
     load_row = fabric.load[plan.row]
@@ -107,31 +120,39 @@ def _compute_cell_rates(plan, fabric, consts, scratch):
         return
     n_links = consts["n_links"]
     utility = consts["utility"]
-    routes = plan.routes[:n]
     weights = plan.weights[:n]
-    route_len = routes.shape[1]
-    flat = routes.reshape(-1)
+    version = int(fabric.versions[plan.row])
+    if plan.csr_version != version:
+        routes = plan.routes[:n]
+        width = routes.shape[1]
+        while width > 1 and np.all(routes[:, width - 1] == n_links):
+            width -= 1
+        plan.csr_indices = np.ascontiguousarray(
+            routes[:, :width]).reshape(-1)
+        plan.csr_rows = np.repeat(np.arange(n, dtype=np.int64), width)
+        plan.csr_version = version
+    indices = plan.csr_indices
+    rows = plan.csr_rows
+    nnz = len(indices)
     gather = consts["gather"]
-    if len(gather) < n * route_len:
-        gather = consts["gather"] = np.empty(n * route_len)
-    buf = gather[: n * route_len]
+    if len(gather) < nnz:
+        gather = consts["gather"] = np.empty(max(nnz, 2 * len(gather)))
+    buf = gather[:nnz]
     scratch[:n_links] = fabric.prices[plan.row]
     scratch[n_links] = 0.0  # pad link: price zero
-    np.take(scratch, flat, out=buf)
-    rho = buf.reshape(n, route_len).sum(axis=1)
-    version = int(fabric.versions[plan.row])
+    np.take(scratch, indices, out=buf)
+    rho = np.bincount(rows, weights=buf, minlength=n)
     if plan.floor_version != version:
         plan.floor = utility.inverse_rate(plan.bottleneck[:n], weights)
         plan.floor_version = version
     rho = np.maximum(rho, plan.floor)
     rates = utility.rate(rho, weights)
     derivative = utility.rate_derivative(rho, weights)
-    buf2d = buf.reshape(n, route_len)
-    buf2d[:] = rates.reshape(n, 1)
-    load_row[:] = np.bincount(flat, weights=buf,
+    np.take(rates, rows, out=buf)
+    load_row[:] = np.bincount(indices, weights=buf,
                               minlength=n_links + 1)[:-1]
-    buf2d[:] = derivative.reshape(n, 1)
-    hessian_row[:] = np.bincount(flat, weights=buf,
+    np.take(derivative, rows, out=buf)
+    hessian_row[:] = np.bincount(indices, weights=buf,
                                  minlength=n_links + 1)[:-1]
 
 

@@ -65,7 +65,90 @@ class TestHarnessSmoke:
         assert regressions == ["fluid_ticks"]
 
 
+import report  # noqa: E402
 import trend  # noqa: E402
+
+
+class TestReportRenderer:
+    def test_text_table_aligns_columns(self):
+        table = report.format_table(["name", "score"],
+                                    [["a", 1.5], ["longer", None]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.5" in lines[1] and "-" in lines[2]
+
+    def test_markdown_table_shape(self):
+        table = report.format_table(["a", "b"], [[1, 2]], markdown=True)
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert set(lines[1]) <= set("|- ")
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_step_summary_written_only_when_env_set(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        assert not report.write_step_summary("nope")
+        target = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(target))
+        assert report.write_step_summary("# hello")
+        assert report.write_step_summary("more")
+        assert target.read_text() == "# hello\nmore\n"
+
+
+class TestCiLaneSurface:
+    """The harness features the CI lanes lean on."""
+
+    def test_only_accepts_multiple_names_in_one_flag(self, tmp_path):
+        """bench-multicore passes `--only a b c` — one flag, three
+        benchmarks (extend keeps repeated --only working too)."""
+        output = tmp_path / "bench.json"
+        code = harness.main([
+            "--quick", "--only", "fluid_ticks", "iterate_churn_1k",
+            "--output", str(output)])
+        assert code == 0
+        results = json.loads(output.read_text())["results"]
+        assert {"calibration", "fluid_ticks",
+                "iterate_churn_1k"} <= set(results)
+        assert "iterate_churn_10k" not in results
+
+    def test_step_summary_table_lands_in_the_run_page(self, tmp_path,
+                                                      monkeypatch):
+        target = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(target))
+        code = harness.main(["--quick", "--only", "fluid_ticks",
+                             "--output", str(tmp_path / "bench.json")])
+        assert code == 0
+        summary = target.read_text()
+        assert "fluid_ticks" in summary and "| --- |" in summary
+
+    def test_summary_rows_show_floor_delta_and_ungated_speedups(self):
+        results = {
+            "calibration": {"ops_per_sec": 100.0},
+            "fluid_ticks": {"ops_per_sec": 80.0},
+            "brand_new": {"ops_per_sec": 10.0},
+            "parallel_speedup": {
+                "ops_per_sec": 10.0,
+                "speedup_vs_single_core": {"1": 0.9, "4": 2.1}},
+        }
+        baseline = {
+            "calibration": {"ops_per_sec": 100.0},
+            "fluid_ticks": {"ops_per_sec": 100.0},
+        }
+        summary = harness.step_summary_markdown(results, baseline,
+                                                0.30, "quick")
+        assert "0.7000" in summary          # floor = 1.0 * (1 - 0.30)
+        assert "-20.0%" in summary          # 0.8 vs baseline 1.0
+        assert "4w=2.10x" in summary        # §6.1 speedups surfaced
+        assert "new" in summary
+
+    def test_profile_mode_prints_kernel_breakdown(self, capsys):
+        code = harness.profile_churn_iterate(1_000, "quick")
+        assert code == 0
+        out = capsys.readouterr().out
+        for label in ("csr_sync", "price_sums", "link_totals2",
+                      "max_link_value", "churn_apply"):
+            assert label in out
+        assert "ms/op" in out
 
 
 class TestFabricBenchmarks:
