@@ -9,8 +9,7 @@ which endpoints hear about their rates.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import FlowtuneAllocator
-from repro.topology import paper_topology
+from repro import FlowtuneAllocator, paper_topology
 
 
 def main():

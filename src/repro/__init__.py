@@ -6,14 +6,31 @@ endpoints, solves a network utility maximization problem with the
 Newton-Exact-Diagonal (NED) method, normalizes the rates to link
 capacities (F-NORM), and pushes explicit rates back to endpoints.
 
-Subpackages
------------
+The top-level namespace is the supported public API — one import
+covers the common workflows::
+
+    from repro import FlowtuneAllocator, TwoTierClos
+
+    topo = TwoTierClos(n_racks=3, hosts_per_rack=8, n_spines=2)
+    alloc = FlowtuneAllocator(topo.link_set())
+    alloc.flowlet_start(0, topo.route(0, 9))
+    print(alloc.iterate(50).rates)
+
+Every resource-owning object here (:class:`MulticoreNedEngine`, the
+fabrics, :class:`LocalCluster`, :class:`FlowtuneService`,
+:class:`FlowtuneClient`) is a context manager with an idempotent
+``close()``.
+
+Subpackages hold the deeper surface:
+
 ``repro.core``
     NED and the compared optimizers, U/F-NORM, the allocator.
 ``repro.parallel``
     The FlowBlock/LinkBlock multicore partitioning (§5).
+``repro.service``
+    The always-on allocator service and its wire schema.
 ``repro.topology``
-    Two-tier Clos topologies and routing.
+    Two- and three-tier Clos topologies and routing.
 ``repro.workloads``
     Facebook Web/Cache/Hadoop flowlet-size workloads (Poisson churn).
 ``repro.fluid``
@@ -30,8 +47,32 @@ Subpackages
     FCT/fairness/convergence metrics used by the paper's figures.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import core
+# the core allocator
+from .core import (AllocationResult, AlphaFairUtility, ChurnQueue,
+                   FlowtuneAllocator, FlowTable, FNormalizer, LinkSet,
+                   LogUtility, NedOptimizer, RateUpdate, UNormalizer)
+# the multicore engine and its fabrics
+from .parallel import (FabricError, LocalCluster, MulticoreNedEngine,
+                       SharedMemoryFabric, SocketFabric)
+# the always-on service
+from .service import (FlowtuneClient, FlowtuneService, ServiceError,
+                      spawn_service)
+# topologies
+from .topology import ThreeTierClos, Topology, TwoTierClos, paper_topology
 
-__all__ = ["core", "__version__"]
+__all__ = [
+    "__version__",
+    # core
+    "FlowtuneAllocator", "AllocationResult", "RateUpdate", "ChurnQueue",
+    "FlowTable", "LinkSet", "NedOptimizer",
+    "FNormalizer", "UNormalizer", "LogUtility", "AlphaFairUtility",
+    # parallel
+    "MulticoreNedEngine", "LocalCluster",
+    "SharedMemoryFabric", "SocketFabric", "FabricError",
+    # service
+    "FlowtuneService", "FlowtuneClient", "ServiceError", "spawn_service",
+    # topology
+    "TwoTierClos", "ThreeTierClos", "Topology", "paper_topology",
+]

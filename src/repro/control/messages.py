@@ -16,7 +16,8 @@ from enum import Enum
 
 __all__ = [
     "MessageType", "ControlMessage",
-    "FLOWLET_START_BYTES", "FLOWLET_END_BYTES", "RATE_UPDATE_BYTES",
+    "FLOWLET_START_BYTES", "FLOWLET_END_BYTES", "FLOWLET_USAGE_BYTES",
+    "RATE_UPDATE_BYTES",
     "TCP_IP_HEADER_BYTES", "ETHERNET_HEADER_BYTES", "MIN_FRAME_BYTES",
     "PREAMBLE_IFG_BYTES", "wire_bytes", "batched_wire_bytes",
 ]
@@ -25,6 +26,11 @@ __all__ = [
 FLOWLET_START_BYTES = 16
 FLOWLET_END_BYTES = 4
 RATE_UPDATE_BYTES = 6
+#: Flowlet usage report (not in the paper's §6.2 table; the always-on
+#: service lets endpoints report cumulative bytes sent, encoded as a
+#: 4-byte flow id + 8-byte counter — the accounting the service's
+#: paper-equivalent byte counters use for usage traffic).
+FLOWLET_USAGE_BYTES = 12
 
 #: "standard TCP/IP overheads": 20 B IPv4 + 20 B TCP.
 TCP_IP_HEADER_BYTES = 40
@@ -37,8 +43,16 @@ PREAMBLE_IFG_BYTES = 20
 
 
 class MessageType(Enum):
+    """The control-plane message kinds — the schema shared by the
+    packet-level control plane (byte accounting below) and the
+    always-on allocator service's binary codecs
+    (:mod:`repro.service.wire` keys its admission/rate frames to
+    these kinds and reuses this module's accounting for its
+    paper-equivalent traffic counters)."""
+
     FLOWLET_START = "start"
     FLOWLET_END = "end"
+    FLOWLET_USAGE = "usage"
     RATE_UPDATE = "rate"
 
 
@@ -46,6 +60,7 @@ class MessageType(Enum):
 PAYLOAD_BYTES = {
     MessageType.FLOWLET_START: FLOWLET_START_BYTES,
     MessageType.FLOWLET_END: FLOWLET_END_BYTES,
+    MessageType.FLOWLET_USAGE: FLOWLET_USAGE_BYTES,
     MessageType.RATE_UPDATE: RATE_UPDATE_BYTES,
 }
 

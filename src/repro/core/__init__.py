@@ -13,7 +13,8 @@ Public API re-exports; see individual modules for the algorithms:
 * :mod:`repro.core.allocator` — the centralized allocator (fig. 1).
 """
 
-from .allocator import AllocationResult, FlowtuneAllocator, RateUpdate
+from .allocator import (AllocationResult, ChurnQueue, FlowtuneAllocator,
+                        RateUpdate)
 from .external import ExternalTrafficManager
 from .fgm import FgmOptimizer
 from .gradient import GradientOptimizer
@@ -27,7 +28,7 @@ from .realtime import GradientRtOptimizer, NedRtOptimizer, fast_reciprocal
 from .utility import AlphaFairUtility, LogUtility, Utility
 
 __all__ = [
-    "AllocationResult", "FlowtuneAllocator", "RateUpdate",
+    "AllocationResult", "ChurnQueue", "FlowtuneAllocator", "RateUpdate",
     "ExternalTrafficManager",
     "FgmOptimizer", "GradientOptimizer", "NedOptimizer",
     "NewtonLikeOptimizer", "NedRtOptimizer", "GradientRtOptimizer",

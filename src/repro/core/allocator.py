@@ -14,6 +14,8 @@ link for threshold 0.01), exactly as described in the paper.
 from __future__ import annotations
 
 import inspect
+import threading
+import warnings
 from typing import NamedTuple
 
 import numpy as np
@@ -23,7 +25,8 @@ from .network import FlowTable, LinkSet
 from .normalization import FNormalizer, Normalizer
 from .utility import Utility
 
-__all__ = ["RateUpdate", "AllocationResult", "FlowtuneAllocator"]
+__all__ = ["RateUpdate", "AllocationResult", "FlowtuneAllocator",
+           "ChurnQueue"]
 
 
 class RateUpdate(NamedTuple):
@@ -154,6 +157,14 @@ class FlowtuneAllocator:
                 for p in params)
         except (TypeError, ValueError):  # builtins, odd callables
             self._normalizer_takes_load = False
+        if not self._normalizer_takes_load:
+            warnings.warn(
+                "normalizers that do not accept link_load= are "
+                "deprecated: add a link_load=None keyword to "
+                f"{type(self.normalizer).__name__}.__call__ (see "
+                "repro.core.normalization.Normalizer); the two-argument "
+                "fallback will be removed in a future release",
+                DeprecationWarning, stacklevel=2)
         # Positionally-aligned per-flow state, maintained by the flow
         # table under swap-remove churn: the rate each endpoint was
         # last notified of (NaN = never notified) and whether the flow
@@ -254,3 +265,97 @@ class FlowtuneAllocator:
                 f"optimizer={self.optimizer.name}, "
                 f"normalizer={self.normalizer.name}, "
                 f"threshold={self.update_threshold})")
+
+
+# Pending-event kinds (ChurnQueue); module-level so drain() can
+# dispatch on identity rather than string compare.
+_EV_START = "start"
+_EV_END = "end"
+_EV_RESTART = "restart"
+
+
+class ChurnQueue:
+    """Non-blocking ingest buffer that coalesces same-flow churn.
+
+    Producers (e.g. the allocator service's socket loop) call
+    :meth:`push_start` / :meth:`push_end` as events arrive; the
+    allocation loop calls :meth:`drain` once per duty cycle and feeds
+    the result straight into :meth:`FlowtuneAllocator.apply_churn`.
+    Events for the same flow id within one batch coalesce to the
+    table-level outcome the paper's batching implies:
+
+    * start then end before any drain → the flow never existed; both
+      events vanish.
+    * end then start → a restart; ``drain`` emits the id in *both*
+      lists (``apply_churn`` removes ends first, so the flow is
+      re-admitted as new and re-notified per §6.4).
+    * repeated starts → last route/weight wins.
+    * end of a flow with no pending start → plain end.
+
+    All methods take one lock for a dict operation, so producers never
+    block on the allocator's iterate and vice versa.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = {}  # flow_id -> (kind, route, weight)
+
+    def push_start(self, flow_id, route, weight: float = 1.0):
+        with self._lock:
+            prior = self._pending.get(flow_id)
+            kind = _EV_START
+            if prior is not None and prior[0] in (_EV_END, _EV_RESTART):
+                kind = _EV_RESTART
+            self._pending[flow_id] = (kind, route, weight)
+
+    def push_end(self, flow_id):
+        with self._lock:
+            prior = self._pending.get(flow_id)
+            if prior is None:
+                self._pending[flow_id] = (_EV_END, None, None)
+            elif prior[0] == _EV_START:
+                # Started and ended within one batch: never materialized.
+                del self._pending[flow_id]
+            elif prior[0] == _EV_RESTART:
+                self._pending[flow_id] = (_EV_END, None, None)
+            # prior end: no-op (idempotent)
+
+    def pending_kind(self, flow_id):
+        """The coalesced pending kind for ``flow_id`` (or ``None``).
+
+        Lets the service validate duplicate starts / unknown ends at
+        dispatch time — before a bad event reaches ``apply_churn``
+        mid-cycle — without draining.
+        """
+        with self._lock:
+            ev = self._pending.get(flow_id)
+            return ev[0] if ev is not None else None
+
+    def drain(self):
+        """Atomically take the batch: ``(starts, ends)`` for apply_churn.
+
+        ``starts`` is a list of ``(flow_id, route, weight)``; ``ends``
+        a list of flow ids.  Restarted flows appear in both.
+        """
+        with self._lock:
+            pending, self._pending = self._pending, {}
+        starts, ends = [], []
+        for flow_id, (kind, route, weight) in pending.items():
+            if kind == _EV_END:
+                ends.append(flow_id)
+                continue
+            if kind == _EV_RESTART:
+                ends.append(flow_id)
+            starts.append((flow_id, route, weight))
+        return starts, ends
+
+    def __len__(self):
+        with self._lock:
+            return len(self._pending)
+
+    def __bool__(self):
+        with self._lock:
+            return bool(self._pending)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"ChurnQueue(pending={len(self)})"

@@ -81,9 +81,11 @@ class Normalizer:
 
     ``link_load`` is an optional precomputed ``table.link_totals(rates)``
     (the allocator passes the price update's own scatter); subclasses
-    that don't consume it must still accept it.  Two-argument legacy
-    normalizers keep working — the allocator inspects the signature
-    and only threads the load through when it is accepted.
+    that don't consume it must still accept it.  The ``link_load=``
+    form is the only supported signature: two-argument legacy
+    normalizers still run for one more release (the allocator inspects
+    the signature and falls back), but constructing an allocator with
+    one now emits :class:`DeprecationWarning`.
     """
 
     name = "none"

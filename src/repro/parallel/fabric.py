@@ -1133,6 +1133,12 @@ class SharedMemoryFabric:
             conn.close()
         self.arena.close()
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
     def __del__(self):  # pragma: no cover - safety net
         try:
             self.close()
@@ -1374,6 +1380,12 @@ class SocketFabric:
             _close_quietly(conn)
         self._conns.clear()
         _close_quietly(self._listener)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     def __del__(self):  # pragma: no cover - safety net
         try:

@@ -25,8 +25,10 @@ from .fabric import _socket_worker_entry
 _TOKEN_ENV = "REPRO_FABRIC_TOKEN"
 
 
-def parse_token(value):
-    """Decode the fabric token from ``$REPRO_FABRIC_TOKEN``.
+def parse_token(value, env_var=_TOKEN_ENV):
+    """Decode a hex auth token taken from ``$REPRO_FABRIC_TOKEN``
+    (or another env var — the allocator service reuses this check for
+    ``$REPRO_SERVICE_TOKEN``).
 
     Fails fast with a message naming the env var: a missing or empty
     value would otherwise decode to ``b""`` and the parent's auth
@@ -35,16 +37,16 @@ def parse_token(value):
     """
     if not value:
         raise SystemExit(
-            f"{_TOKEN_ENV} is not set (or empty): export the parent's "
-            "SocketFabric.token_hex before starting a worker — without "
-            "it the parent silently drops this worker's connection")
+            f"{env_var} is not set (or empty): export the parent's "
+            "token_hex before starting this process — without it the "
+            "parent silently drops the connection")
     try:
         return bytes.fromhex(value)
     except ValueError:
         raise SystemExit(
-            f"{_TOKEN_ENV} is not a valid hex token (got {value!r}): "
-            "it must be the parent's SocketFabric.token_hex, an "
-            "even-length hex string") from None
+            f"{env_var} is not a valid hex token (got {value!r}): "
+            "it must be the parent's token_hex, an even-length hex "
+            "string") from None
 
 
 if __name__ == "__main__":

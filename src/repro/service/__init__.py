@@ -1,0 +1,18 @@
+"""The always-on allocator service: Flowtune as a network service.
+
+The paper's deployment model (fig. 1) is a centralized allocator that
+endpoints talk to over the network; until this package, the repo only
+exercised that loop tick-driven inside the simulators.  Here it runs
+for real: :class:`FlowtuneService` serves the NUM loop over TCP with
+token auth and delta-encoded rate pushes, :class:`FlowtuneClient` is
+the endpoint-side handle, :func:`spawn_service` launches a service
+child process (``python -m repro.service``), and :mod:`.wire` defines
+the pickled-free binary schema both sides speak.
+"""
+
+from .client import FlowtuneClient
+from .server import FlowtuneService, ServiceHandle, spawn_service
+from .wire import ServiceError, WireError
+
+__all__ = ["FlowtuneService", "FlowtuneClient", "ServiceHandle",
+           "spawn_service", "ServiceError", "WireError"]

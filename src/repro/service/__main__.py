@@ -1,0 +1,64 @@
+"""CLI entry for a standalone allocator service process.
+
+Run on any machine the clients can reach::
+
+    REPRO_SERVICE_TOKEN=<32 hex chars> \\
+        python -m repro.service --host 0.0.0.0 --port 9930
+
+Like the socket-fabric worker, the process carries no pre-shared
+state beyond the token (never passed on the command line, where it
+would leak via ``ps``).  Once listening it prints one line —
+``SERVICE-READY <host> <port>`` — so spawners can scrape the bound
+ephemeral port, then serves until killed or sent a SHUTDOWN frame.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from ..parallel.socket_worker import parse_token
+from ..topology import TwoTierClos
+from .server import FlowtuneService
+
+_TOKEN_ENV = "REPRO_SERVICE_TOKEN"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Always-on Flowtune allocator service")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks an ephemeral port (printed on the "
+                             "SERVICE-READY line)")
+    parser.add_argument("--racks", type=int, default=3)
+    parser.add_argument("--hosts-per-rack", type=int, default=8)
+    parser.add_argument("--spines", type=int, default=2)
+    parser.add_argument("--mode", choices=("auto", "manual"),
+                        default="auto")
+    parser.add_argument("--gamma", type=float, default=1.0)
+    parser.add_argument("--threshold", type=float, default=0.01)
+    parser.add_argument("--iters-per-cycle", type=int, default=1)
+    parser.add_argument("--min-cycle", type=float, default=0.0005)
+    args = parser.parse_args(argv)
+
+    token = parse_token(os.environ.get(_TOKEN_ENV), env_var=_TOKEN_ENV)
+    topology = TwoTierClos(n_racks=args.racks,
+                           hosts_per_rack=args.hosts_per_rack,
+                           n_spines=args.spines)
+    service = FlowtuneService(
+        topology, host=args.host, port=args.port, token=token,
+        mode=args.mode, gamma=args.gamma,
+        update_threshold=args.threshold,
+        iters_per_cycle=args.iters_per_cycle, min_cycle=args.min_cycle)
+    print(f"SERVICE-READY {service.address[0]} {service.address[1]}",
+          flush=True)
+    try:
+        service.run()
+    finally:
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,248 @@
+"""Client for the always-on allocator service.
+
+Connects with the fabric's retrying connector, presents the raw token,
+performs the HELLO/WELCOME version handshake, then speaks
+:mod:`repro.service.wire` frames.  Receives are pumped through a
+:class:`~repro.service.wire.FrameBuffer` so a timeout mid-frame never
+desynchronizes the stream; sends are serialized by a lock so one
+client object can be shared between a load-generating thread and a
+rate-polling thread (the ``service_latency`` benchmark does exactly
+that).
+
+Rate state mirrors the server's delta chain: RATES frames apply only
+when their ``base_seq`` matches the last applied sequence (skew
+raises :class:`~repro.service.wire.WireError` — the stream missed a
+frame and every later delta would silently compound the error) and
+SNAPSHOT frames replace the state wholesale.
+"""
+
+from __future__ import annotations
+
+import socket as socketlib
+import threading
+import time
+
+from ..parallel.fabric import FabricError, _connect_retry, send_frame
+from . import wire
+from .wire import TAG_SERVICE, FrameBuffer, ServiceError, WireError
+
+__all__ = ["FlowtuneClient"]
+
+_RECV_CHUNK = 1 << 16
+
+
+class FlowtuneClient:
+    """Endpoint-side handle on a :class:`FlowtuneService`.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of the service listener.
+    token:
+        The service's 16-byte token (raw bytes or hex string).
+    timeout:
+        Handshake and default blocking-receive timeout, seconds.
+
+    Flow ids are client-local integers (the service namespaces them
+    per connection), so two clients can both use flow id 0.
+    """
+
+    def __init__(self, address, token, *, timeout=30.0):
+        if isinstance(token, str):
+            token = bytes.fromhex(token)
+        self.timeout = float(timeout)
+        self._rates = {}          # fid -> latest rate (Gbit/s)
+        self._last_seq = 0
+        self._last_snapshot = None
+        self._buf = FrameBuffer()
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self.client_id = None
+        self.n_links = None
+        self._sock = _connect_retry(tuple(address))
+        self._sock.settimeout(self.timeout)
+        try:
+            self._sock.sendall(bytes(token))
+            self._send(wire.encode_hello())
+            self._pump_until(lambda: self.client_id is not None,
+                             self.timeout,
+                             "no WELCOME from service (bad token?)")
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def _send(self, *payloads):
+        if self._closed:
+            raise FabricError("client is closed")
+        with self._send_lock:
+            for payload in payloads:
+                send_frame(self._sock, TAG_SERVICE, payload)
+
+    def flowlet_start(self, flow_id, route, weight=1.0):
+        """Report one new backlogged flowlet on ``route``."""
+        self._send(wire.encode_start([(flow_id, route, weight)]))
+
+    def flowlet_end(self, flow_id):
+        """Report one flowlet's queue drained."""
+        self._send(wire.encode_end([flow_id]))
+
+    def apply_churn(self, starts=(), ends=()):
+        """Batch churn in one wire exchange: ends frame, then starts
+        (matching :meth:`FlowtuneAllocator.apply_churn` order, so an
+        id in both is a restart)."""
+        starts = [s if len(s) == 3 else (s[0], s[1], 1.0) for s in starts]
+        payloads = []
+        if ends:
+            payloads.append(wire.encode_end(list(ends)))
+        if starts:
+            payloads.append(wire.encode_start(starts))
+        if payloads:
+            self._send(*payloads)
+
+    def report_usage(self, reports):
+        """Send cumulative ``(flow_id, bytes)`` usage reports."""
+        self._send(wire.encode_usage(reports))
+
+    def shutdown_service(self):
+        """Ask the service process to stop serving entirely."""
+        self._send(wire.encode_shutdown())
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def poll(self, timeout=0.0):
+        """Pump pending frames; return rate updates as ``[(fid, rate)]``.
+
+        Blocks up to ``timeout`` seconds for the *first* data, then
+        drains whatever else is already queued without blocking.
+        Raises :class:`ServiceError` if the service reported an error,
+        :class:`WireError` on version or sequence skew.
+        """
+        updates = []
+        deadline = time.monotonic() + timeout
+        first = True
+        while True:
+            remaining = deadline - time.monotonic() if first else 0.0
+            if not self._recv_once(max(0.0, remaining), updates):
+                if not first or remaining <= 0:
+                    break
+            first = False
+        return updates
+
+    def _recv_once(self, timeout, updates):
+        """One recv; feeds the buffer, handles frames.  Returns False
+        when no data was available within ``timeout``."""
+        self._sock.settimeout(timeout if timeout > 0 else 0.0)
+        try:
+            data = self._sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError, TimeoutError):
+            return False
+        except OSError as exc:
+            raise FabricError(f"connection lost: {exc}") from exc
+        finally:
+            self._sock.settimeout(self.timeout)
+        if not data:
+            raise FabricError("service closed the connection")
+        for tag, payload in self._buf.feed(data):
+            if tag != TAG_SERVICE:
+                raise WireError(f"unexpected frame tag {tag}")
+            self._handle(payload, updates)
+        return True
+
+    def _handle(self, payload, updates):
+        kind, body = wire.decode_message(payload)
+        if kind == wire.WELCOME:
+            self.client_id, self.n_links = body
+        elif kind == wire.RATES:
+            base_seq, seq, fids, rates = body
+            if base_seq != self._last_seq:
+                raise WireError(
+                    f"rate-update sequence skew: frame chains on "
+                    f"{base_seq}, last applied is {self._last_seq}")
+            self._last_seq = seq
+            for fid, rate in zip(fids.tolist(), rates.tolist()):
+                self._rates[fid] = rate
+                updates.append((fid, rate))
+        elif kind == wire.SNAPSHOT:
+            seq, fids, rates = body
+            self._last_seq = seq
+            snapshot = dict(zip(fids.tolist(), rates.tolist()))
+            self._rates = snapshot
+            self._last_snapshot = snapshot
+            updates.extend(snapshot.items())
+        elif kind == wire.ERROR:
+            raise ServiceError(body)
+        else:
+            raise WireError(f"kind {kind} is not valid server->client")
+
+    def _pump_until(self, done, timeout, what):
+        deadline = time.monotonic() + timeout
+        scratch = []
+        while not done():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(what)
+            self._recv_once(remaining, scratch)
+        return scratch
+
+    def wait_for_rates(self, flow_ids, timeout=30.0):
+        """Block until every id in ``flow_ids`` has a rate; return a
+        ``{fid: rate}`` dict for exactly those ids."""
+        pending = set(flow_ids)
+        self._pump_until(lambda: pending <= self._rates.keys(), timeout,
+                         f"no rate for {len(pending - self._rates.keys())} "
+                         "flows within timeout")
+        return {fid: self._rates[fid] for fid in flow_ids}
+
+    def step(self, n_iters=1, timeout=None):
+        """Run exactly ``n_iters`` allocator iterations remotely and
+        return this client's full rate snapshot (``{fid: rate}``).
+
+        The deterministic RPC behind the manual-mode service: churn
+        sent so far is drained, applied, iterated ``n_iters`` times —
+        the same calls an in-process allocator would make, so results
+        agree bitwise."""
+        self._last_snapshot = None
+        self._send(wire.encode_step(max(1, int(n_iters))))
+        self._pump_until(lambda: self._last_snapshot is not None,
+                         self.timeout if timeout is None else timeout,
+                         "no SNAPSHOT reply to STEP")
+        return dict(self._last_snapshot)
+
+    @property
+    def rates(self):
+        """Latest known rate per flow (a copy; updated by polling)."""
+        return dict(self._rates)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Say BYE (best-effort) and close the socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._send_lock:
+                self._sock.settimeout(1.0)
+                send_frame(self._sock, TAG_SERVICE, wire.encode_bye())
+        except (FabricError, OSError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"FlowtuneClient(client_id={self.client_id}, "
+                f"n_flows_known={len(self._rates)})")

@@ -1,0 +1,556 @@
+"""The always-on allocator service.
+
+A single-threaded ``selectors`` loop (the socket fabric's idiom) owns
+a :class:`~repro.core.FlowtuneAllocator` and serves many clients over
+TCP: clients authenticate with a raw 16-byte token (checked before any
+frame is parsed, exactly like the fabric's worker handshake), then
+exchange :mod:`repro.service.wire` frames over the fabric's
+length-prefixed framing.  Flowlet starts/ends/usage land in a
+coalescing :class:`~repro.core.ChurnQueue`; the NUM loop runs in an
+adaptive duty cycle — flat-out while churn is pending, at a
+``min_cycle`` cadence while rates are still moving, and blocked in
+``select`` (waking instantly on a frame) once converged — and pushes
+delta-encoded rate updates back out on PR 4's dirty-row pattern:
+per-client ``(base_seq, seq)``-chained RATES frames that the client
+rejects on sequence skew, with SNAPSHOT frames restarting the chain.
+
+Sends go through the fabric's :func:`~repro.parallel.fabric.send_frame`
+on sockets with a send timeout, so a stalled client that leaves half a
+frame on the wire trips the fabric's poisoned-connection path and is
+dropped — its flows are ended through the churn queue like any other
+dead client, and the allocation loop never wedges.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import selectors
+import socket as socketlib
+import subprocess
+import sys
+import threading
+import time
+
+from ..core import FlowtuneAllocator
+from ..core.allocator import ChurnQueue
+from ..parallel.fabric import _TOKEN_LEN, FabricError, send_frame
+from . import wire
+from .wire import TAG_SERVICE, FrameBuffer, WireError
+
+__all__ = ["FlowtuneService", "spawn_service", "ServiceHandle"]
+
+_RECV_CHUNK = 1 << 16
+
+
+def _as_token(token):
+    if token is None:
+        return secrets.token_bytes(_TOKEN_LEN)
+    if isinstance(token, str):
+        token = bytes.fromhex(token)
+    token = bytes(token)
+    if len(token) != _TOKEN_LEN:
+        raise ValueError(f"token must be {_TOKEN_LEN} bytes, "
+                         f"got {len(token)}")
+    return token
+
+
+class _Client:
+    """Per-connection state machine: token -> HELLO -> frames."""
+
+    __slots__ = ("sock", "buf", "client_id", "flows", "seq", "token_buf",
+                 "authed", "helloed")
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buf = FrameBuffer()
+        self.client_id = None     # assigned at HELLO
+        self.flows = set()        # client-local flow ids currently live
+        self.seq = 0              # rate-update chain position
+        self.token_buf = bytearray()
+        self.authed = False
+        self.helloed = False
+
+
+class FlowtuneService:
+    """Long-running allocator service over one TCP listener.
+
+    Parameters
+    ----------
+    network:
+        A topology (anything with ``.link_set()``) or a bare
+        :class:`~repro.core.LinkSet`.
+    mode:
+        ``"auto"`` (default) runs the adaptive duty cycle; ``"manual"``
+        only allocates on a client's STEP request — deterministic
+        iterate counts, so a remote run is bit-comparable with an
+        in-process allocator fed the same churn trace.
+    iters_per_cycle, min_cycle, idle_timeout, quiet_after:
+        Duty-cycle shape: iterations per allocation, minimum seconds
+        between allocations while rates are still moving, the blocking
+        ``select`` timeout once converged, and how many consecutive
+        zero-update cycles count as converged.
+    token:
+        16 raw bytes, their hex form, or ``None`` to generate one
+        (read it back from :attr:`token_hex`).
+
+    Allocator knobs (``utility``, ``update_threshold``, ``gamma``,
+    ``max_route_len``) are passed through to
+    :class:`~repro.core.FlowtuneAllocator`.
+    """
+
+    def __init__(self, network, *, utility=None, host="127.0.0.1", port=0,
+                 token=None, update_threshold=0.01, gamma=1.0,
+                 max_route_len=8, mode="auto", iters_per_cycle=1,
+                 min_cycle=0.0005, idle_timeout=0.05, quiet_after=3,
+                 send_timeout=10.0):
+        if mode not in ("auto", "manual"):
+            raise ValueError(f"mode must be 'auto' or 'manual', got {mode!r}")
+        links = network.link_set() if hasattr(network, "link_set") else network
+        self.allocator = FlowtuneAllocator(
+            links, utility=utility, update_threshold=update_threshold,
+            gamma=gamma, max_route_len=max_route_len)
+        self.queue = ChurnQueue()
+        self.mode = mode
+        self.iters_per_cycle = int(iters_per_cycle)
+        self.min_cycle = float(min_cycle)
+        self.idle_timeout = float(idle_timeout)
+        self.quiet_after = int(quiet_after)
+        self.send_timeout = float(send_timeout)
+        self._token = _as_token(token)
+        self.stats = {"frames_in": 0, "frames_out": 0, "cycles": 0,
+                      "iterations": 0, "paper_bytes_in": 0,
+                      "paper_bytes_out": 0, "clients_dropped": 0}
+
+        self._clients = {}          # sock -> _Client
+        self._next_client_id = 1
+        self._quiet_rounds = 0
+        self._last_cycle = 0.0
+        self._last_result = None
+        self._usage = {}            # (client_id, fid) -> cumulative bytes
+        self._running = False
+        self._closed = False
+        self._thread = None
+        self._lock = threading.Lock()   # guards start/close transitions
+
+        self._listener = socketlib.socket()
+        self._listener.setsockopt(socketlib.SOL_SOCKET,
+                                  socketlib.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self.address = self._listener.getsockname()[:2]
+        # Self-pipe so close()/start() from other threads wake select.
+        self._wake_r, self._wake_w = socketlib.socketpair()
+        self._wake_r.setblocking(False)
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._listener, selectors.EVENT_READ, "accept")
+        self._sel.register(self._wake_r, selectors.EVENT_READ, "wake")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def token_hex(self):
+        return self._token.hex()
+
+    @property
+    def n_flows(self):
+        return self.allocator.n_flows
+
+    def start(self):
+        """Serve from a daemon thread; returns once the thread runs."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._thread is not None:
+                return self
+            self._thread = threading.Thread(
+                target=self.run, name="flowtune-service", daemon=True)
+            self._thread.start()
+        return self
+
+    def run(self):
+        """Serve in the calling thread until :meth:`close` (or a
+        client's SHUTDOWN frame)."""
+        self._running = True
+        try:
+            while self._running:
+                timeout = self._select_timeout()
+                for key, _ in self._sel.select(timeout):
+                    if key.data == "accept":
+                        self._accept()
+                    elif key.data == "wake":
+                        self._drain_wake()
+                    else:
+                        self._service_readable(key.data)
+                if self.mode == "auto":
+                    self._auto_cycle()
+        finally:
+            self._running = False
+
+    def _select_timeout(self):
+        if self.mode == "manual":
+            return self.idle_timeout
+        if self.queue:
+            # Churn is latency-critical (admission-to-rate-update is
+            # the serving SLO): allocate on the next loop turn, no
+            # pacing.
+            return 0.0
+        if self._quiet_rounds < self.quiet_after and self.allocator.n_flows:
+            due = self._last_cycle + self.min_cycle - time.monotonic()
+            return max(0.0, min(due, self.idle_timeout))
+        return self.idle_timeout
+
+    def _auto_cycle(self):
+        if not self.queue:
+            # min_cycle paces only the churnless convergence cycles,
+            # so re-converging never starves frame ingestion.
+            converging = (self._quiet_rounds < self.quiet_after
+                          and self.allocator.n_flows)
+            if not converging:
+                return
+            if time.monotonic() - self._last_cycle < self.min_cycle:
+                return
+        self._allocate(self.iters_per_cycle)
+        self._last_cycle = time.monotonic()
+
+    def close(self):
+        """Stop serving and release the listener, clients, and thread.
+
+        Idempotent; safe from any thread and from ``with`` blocks."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._running = False
+        try:
+            self._wake_w.send(b"\0")
+        except OSError:  # pragma: no cover - wake pipe already gone
+            pass
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=10.0)
+        for client in list(self._clients.values()):
+            self._drop_client(client, end_flows=False)
+        self._sel.unregister(self._listener)
+        self._sel.unregister(self._wake_r)
+        self._listener.close()
+        self._wake_r.close()
+        self._wake_w.close()
+        self._sel.close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _accept(self):
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:  # pragma: no cover - listener closing
+                return
+            sock.settimeout(self.send_timeout)
+            sock.setsockopt(socketlib.IPPROTO_TCP,
+                            socketlib.TCP_NODELAY, 1)
+            client = _Client(sock)
+            self._clients[sock] = client
+            self._sel.register(sock, selectors.EVENT_READ, client)
+
+    def _drain_wake(self):
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _service_readable(self, client):
+        try:
+            data = client.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_client(client)
+            return
+        if not data:       # peer closed: the dead-client path
+            self._drop_client(client)
+            return
+        if not client.authed:
+            data = self._consume_token(client, data)
+            if data is None:
+                return
+        try:
+            frames = client.buf.feed(data)
+            for tag, payload in frames:
+                if tag != TAG_SERVICE:
+                    raise WireError(f"unexpected frame tag {tag}")
+                self._dispatch(client, payload)
+                if not self._running or client.sock not in self._clients:
+                    return
+        except WireError as exc:
+            # Stream no longer trustworthy: best-effort ERROR, drop.
+            self._send_error(client, str(exc))
+            self._drop_client(client)
+
+    def _consume_token(self, client, data):
+        """Raw-token phase; returns leftover bytes once authenticated,
+        or ``None`` while still waiting / after a silent drop."""
+        client.token_buf += data
+        if len(client.token_buf) < _TOKEN_LEN:
+            return None
+        presented = bytes(client.token_buf[:_TOKEN_LEN])
+        if not secrets.compare_digest(presented, self._token):
+            # Same policy as the fabric: close without a hint.
+            self._drop_client(client)
+            return None
+        client.authed = True
+        rest = bytes(client.token_buf[_TOKEN_LEN:])
+        client.token_buf = bytearray()
+        return rest
+
+    def _drop_client(self, client, end_flows=True):
+        if client.sock not in self._clients:
+            return
+        del self._clients[client.sock]
+        try:
+            self._sel.unregister(client.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        try:
+            client.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        if end_flows and client.flows:
+            # Dead client: its flows end as if it had said so —
+            # coalescing makes starts it never got applied vanish.
+            for fid in client.flows:
+                self.queue.push_end((client.client_id, fid))
+            client.flows = set()
+        self.stats["clients_dropped"] += 1
+
+    def _send(self, client, payload):
+        try:
+            send_frame(client.sock, TAG_SERVICE, payload)
+        except (FabricError, TimeoutError, OSError):
+            # Partial frames poisoned the socket inside send_frame;
+            # either way this client is gone.
+            self._drop_client(client)
+            return False
+        self.stats["frames_out"] += 1
+        return True
+
+    def _send_error(self, client, message):
+        if client.authed and client.sock in self._clients:
+            self._send(client, wire.encode_error(message))
+
+    # ------------------------------------------------------------------
+    # frame dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, client, payload):
+        kind, body = wire.decode_message(payload)
+        self.stats["frames_in"] += 1
+        if not client.helloed:
+            if kind != wire.HELLO:
+                raise WireError("first frame must be HELLO")
+            client.helloed = True
+            client.client_id = self._next_client_id
+            self._next_client_id += 1
+            self._send(client, wire.encode_welcome(
+                client.client_id, self.allocator.full_links.n_links))
+            return
+        if kind == wire.START:
+            self._on_start(client, body)
+        elif kind == wire.END:
+            self._on_end(client, body)
+        elif kind == wire.USAGE:
+            self._on_usage(client, body)
+        elif kind == wire.STEP:
+            self._on_step(client, body)
+        elif kind == wire.BYE:
+            self._drop_client(client)
+        elif kind == wire.SHUTDOWN:
+            self._running = False
+        else:
+            raise WireError(f"kind {kind} is not valid client->server")
+
+    def _on_start(self, client, flows):
+        # Validate the whole batch *before* queueing any of it, so a
+        # bad event can never reach apply_churn mid-cycle and take the
+        # allocator down for every other client.
+        seen = set()
+        for fid, _route, weight in flows:
+            if fid in client.flows or fid in seen:
+                self._send_error(client, f"duplicate flowlet start: {fid}")
+                self._drop_client(client)
+                return
+            if weight <= 0:
+                self._send_error(client, f"flow {fid}: weight must be > 0")
+                self._drop_client(client)
+                return
+            seen.add(fid)
+        for fid, route, weight in flows:
+            self.queue.push_start((client.client_id, fid), route, weight)
+            client.flows.add(fid)
+        self.stats["paper_bytes_in"] += wire.paper_wire_bytes(
+            wire.START, len(flows))
+
+    def _on_end(self, client, fids):
+        for fid in fids:
+            if fid not in client.flows:
+                self._send_error(client, f"end of unknown flowlet: {fid}")
+                self._drop_client(client)
+                return
+        for fid in fids:
+            self.queue.push_end((client.client_id, fid))
+            client.flows.discard(fid)
+        self.stats["paper_bytes_in"] += wire.paper_wire_bytes(
+            wire.END, len(fids))
+
+    def _on_usage(self, client, reports):
+        for fid, nbytes in reports:
+            self._usage[(client.client_id, fid)] = nbytes
+        self.stats["paper_bytes_in"] += wire.paper_wire_bytes(
+            wire.USAGE, len(reports))
+
+    def _on_step(self, client, n_iters):
+        self._allocate(max(1, n_iters), snapshot_to=client)
+
+    def usage_bytes(self, client_id, fid):
+        """Latest usage report for one flow (testing/inspection aid)."""
+        return self._usage.get((client_id, fid))
+
+    # ------------------------------------------------------------------
+    # the allocation cycle
+    # ------------------------------------------------------------------
+    def _allocate(self, n_iters, snapshot_to=None):
+        starts, ends = self.queue.drain()
+        if starts or ends:
+            self.allocator.apply_churn(starts=starts, ends=ends)
+            self._quiet_rounds = 0
+        result = self.allocator.iterate(n_iters)
+        self._last_result = result
+        self.stats["cycles"] += 1
+        self.stats["iterations"] += n_iters
+        if len(result.update_indices):
+            self._quiet_rounds = 0
+            self._push_updates(result, skip=snapshot_to)
+        else:
+            self._quiet_rounds += 1
+        if snapshot_to is not None:
+            self._send_snapshot(snapshot_to, result)
+
+    def _push_updates(self, result, skip=None):
+        """Group threshold-crossing updates per client and send each
+        client one delta frame chained on its last sequence number."""
+        per_client = {}
+        for (client_id, fid), rate in result.updates:
+            per_client.setdefault(client_id, ([], []))
+            per_client[client_id][0].append(fid)
+            per_client[client_id][1].append(rate)
+        if not per_client:
+            return
+        by_id = {c.client_id: c for c in self._clients.values()
+                 if c.helloed}
+        for client_id, (fids, rates) in per_client.items():
+            client = by_id.get(client_id)
+            if client is None or client is skip:
+                continue
+            base = client.seq
+            client.seq = base + 1
+            if self._send(client, wire.encode_rates(base, client.seq,
+                                                    fids, rates)):
+                self.stats["paper_bytes_out"] += wire.paper_wire_bytes(
+                    wire.RATES, len(fids))
+
+    def _send_snapshot(self, client, result):
+        rates = result.rates
+        fids, vals = [], []
+        for fid in client.flows:
+            gfid = (client.client_id, fid)
+            if gfid in rates:
+                fids.append(fid)
+                vals.append(rates[gfid])
+        client.seq += 1
+        if self._send(client, wire.encode_snapshot(client.seq, fids, vals)):
+            self.stats["paper_bytes_out"] += wire.paper_wire_bytes(
+                wire.SNAPSHOT, len(fids))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"FlowtuneService(address={self.address}, mode={self.mode}, "
+                f"n_flows={self.allocator.n_flows}, "
+                f"clients={len(self._clients)})")
+
+
+# ----------------------------------------------------------------------
+# two-process convenience: spawn `python -m repro.service`
+# ----------------------------------------------------------------------
+class ServiceHandle:
+    """A service running in a child process (see :func:`spawn_service`)."""
+
+    def __init__(self, process, address, token_hex):
+        self.process = process
+        self.address = address
+        self.token_hex = token_hex
+        self._closed = False
+
+    def close(self, timeout=10.0):
+        """Terminate the child (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.process.kill()
+                self.process.wait()
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def spawn_service(*, racks=3, hosts_per_rack=8, spines=2, mode="auto",
+                  gamma=1.0, update_threshold=0.01, iters_per_cycle=1,
+                  min_cycle=0.0005, host="127.0.0.1", extra_args=()):
+    """Start ``python -m repro.service`` in a child process.
+
+    Generates a token, exports it via ``$REPRO_SERVICE_TOKEN`` (never
+    on the command line, where it would be visible in ``ps``), waits
+    for the child's ``SERVICE-READY host port`` line, and returns a
+    :class:`ServiceHandle` with the bound address.
+    """
+    token_hex = secrets.token_bytes(_TOKEN_LEN).hex()
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["REPRO_SERVICE_TOKEN"] = token_hex
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "repro.service",
+           "--host", host, "--port", "0",
+           "--racks", str(racks), "--hosts-per-rack", str(hosts_per_rack),
+           "--spines", str(spines), "--mode", mode,
+           "--gamma", str(gamma), "--threshold", str(update_threshold),
+           "--iters-per-cycle", str(iters_per_cycle),
+           "--min-cycle", str(min_cycle), *extra_args]
+    process = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                               text=True)
+    line = process.stdout.readline().strip()
+    parts = line.split()
+    if len(parts) != 3 or parts[0] != "SERVICE-READY":
+        process.terminate()
+        process.wait(timeout=10.0)
+        raise RuntimeError(f"service child failed to start (got {line!r})")
+    address = (parts[1], int(parts[2]))
+    return ServiceHandle(process, address, token_hex)

@@ -16,7 +16,10 @@ rewrite safe:
   keyed on it.
 """
 
+import warnings
+
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (FlowTable, FlowtuneAllocator, LinkSet,
@@ -326,7 +329,10 @@ class TestLinkLoadThreading:
         np.testing.assert_array_equal(
             np.asarray(res.rate_vector, dtype=np.float64), expected)
 
-    def test_legacy_two_argument_normalizer_still_works(self):
+    def test_legacy_two_argument_normalizer_deprecated_but_works(self):
+        """The 2-arg signature still runs for one release, but
+        constructing an allocator with one warns: ``link_load=`` is
+        the only supported form now."""
         class Legacy:
             name = "legacy"
 
@@ -338,12 +344,20 @@ class TestLinkLoadThreading:
 
         topology = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
         for normalizer in (Legacy(), legacy_fn):
-            allocator = FlowtuneAllocator(topology.link_set(),
-                                          normalizer=normalizer)
+            with pytest.warns(DeprecationWarning, match="link_load"):
+                allocator = FlowtuneAllocator(topology.link_set(),
+                                              normalizer=normalizer)
             assert not allocator._normalizer_takes_load
             allocator.flowlet_start(0, topology.route(0, 5, 0))
             result = allocator.iterate(1)
             assert len(result.rates) == 1
+
+    def test_link_load_normalizer_does_not_warn(self):
+        topology = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            allocator = FlowtuneAllocator(topology.link_set())
+        assert allocator._normalizer_takes_load
 
     def test_kwargs_normalizer_receives_the_load(self):
         received = {}
