@@ -70,7 +70,14 @@ _MODES = {
               "frame_batch_steps": 3_000,
               "service_flows": 1_000,
               "service_arrivals": 150,
-              "service_rate_per_sec": 150.0},
+              "service_rate_per_sec": 150.0,
+              # p99-based scores are tail-hostage; best-of-2 phases
+              # keeps one scheduler burst from moving the gate.
+              "fanout_clients": 100,
+              "fanout_flows_per_client": 3,
+              "fanout_events_per_client": 8,
+              "fanout_rate_per_sec": 250.0,
+              "fanout_phases": 2},
     "full": {"warmup_iters": 50, "repeats": 3,
              "churn_ops": {1_000: 300, 10_000: 150, 100_000: 40},
              "multicore_ops": 40,
@@ -82,7 +89,12 @@ _MODES = {
              "frame_batch_steps": 8_000,
              "service_flows": 1_000,
              "service_arrivals": 400,
-             "service_rate_per_sec": 250.0},
+             "service_rate_per_sec": 250.0,
+             "fanout_clients": 120,
+             "fanout_flows_per_client": 4,
+             "fanout_events_per_client": 15,
+             "fanout_rate_per_sec": 300.0,
+             "fanout_phases": 2},
 }
 
 #: Benchmarks recorded in the JSON but *excluded* from the baseline
@@ -755,6 +767,165 @@ def bench_service_latency(mode, seed=23):
     }
 
 
+def bench_service_fanout(mode, seed=31):
+    """Admission-to-rate-update latency with 100+ concurrent clients.
+
+    The unreliable-client gate: ``fanout_clients`` independent
+    ``FlowtuneClient`` connections (each holding
+    ``fanout_flows_per_client`` flows) against one spawned service
+    child, with the ingest rate limiter *enabled* (a generous
+    per-client budget — the limiter must sit in the hot path without
+    costing latency).  A single sender thread drives a merged Poisson
+    arrival process at ``fanout_rate_per_sec`` aggregate — each event
+    picks a uniform-random client (the superposition property: every
+    client then sees its own Poisson churn), starts one flowlet and
+    ends that client's oldest.  The main thread sweeps all clients
+    with nonblocking polls, stamping each new flow's first rate
+    update at its owner.
+
+    Reported: p50/p99 over all events in the best of
+    ``fanout_phases`` phases, plus the per-client view the duty
+    cycle's fairness shows up in — the median and max of per-client
+    p99 and Jain's fairness index over per-client mean latency (1.0 =
+    every client served equally).  The gated score is ``1/p50``: with
+    100 clients sharing one core with the service child, the p99 tail
+    is hostage to scheduler bursts (2-3x run-to-run on the CI host)
+    while the median holds within a few percent — the tail is
+    recorded and surfaced in the step summary, the median gates.
+    """
+    import threading
+
+    from repro.service import FlowtuneClient, spawn_service
+    from repro.topology import TwoTierClos
+
+    config = _MODES[mode]
+    n_clients = config["fanout_clients"]
+    flows_each = config["fanout_flows_per_client"]
+    events_each = config["fanout_events_per_client"]
+    agg_rate = config["fanout_rate_per_sec"]
+    phases_n = config["fanout_phases"]
+    topology = TwoTierClos(n_racks=9, hosts_per_rack=16, n_spines=4)
+    rng = np.random.default_rng(seed)
+    gamma = 0.4   # the serving gamma; see bench_service_latency
+
+    max_fids = flows_each + phases_n * events_each * 4 + 8
+    routes = [_random_route(topology, rng, i) for i in range(max_fids)]
+
+    with spawn_service(racks=9, hosts_per_rack=16, spines=4, mode="auto",
+                       gamma=gamma, churn_rate=200.0,
+                       churn_burst=400.0) as handle:
+        clients = [FlowtuneClient(handle.address, handle.token_hex)
+                   for _ in range(n_clients)]
+        try:
+            live = []   # per-client FIFO of live fids
+            for ci, client in enumerate(clients):
+                client.apply_churn(starts=[
+                    (fid, routes[(ci + fid) % max_fids])
+                    for fid in range(flows_each)])
+                live.append(list(range(flows_each)))
+            pending = [set(range(flows_each)) for _ in range(n_clients)]
+            deadline = time.monotonic() + 120.0
+            while any(pending) and time.monotonic() < deadline:
+                for ci, client in enumerate(clients):
+                    for fid, _rate in client.poll(timeout=0.0):
+                        pending[ci].discard(fid)
+                time.sleep(0.001)
+            missing = sum(len(p) for p in pending)
+            if missing:
+                raise RuntimeError(f"service_fanout: {missing} initial "
+                                   "flows never got a rate")
+
+            next_fid = [flows_each] * n_clients
+            phases = []
+            for _ in range(phases_n):
+                n_events = n_clients * events_each
+                owners = rng.integers(0, n_clients, size=n_events)
+                gaps = rng.exponential(1.0 / agg_rate, size=n_events)
+                send_at = {}
+                got_at = {}
+
+                def sender(owners=owners, gaps=gaps, send_at=send_at):
+                    t_next = time.perf_counter()
+                    for k in range(n_events):
+                        t_next += gaps[k]
+                        delay = t_next - time.perf_counter()
+                        if delay > 0:
+                            time.sleep(delay)
+                        ci = int(owners[k])
+                        fid = next_fid[ci]
+                        next_fid[ci] += 1
+                        oldest = live[ci].pop(0)
+                        live[ci].append(fid)
+                        send_at[(ci, fid)] = time.perf_counter()
+                        clients[ci].apply_churn(
+                            starts=[(fid, routes[fid % max_fids])],
+                            ends=[oldest])
+
+                thread = threading.Thread(target=sender, daemon=True)
+                thread.start()
+                deadline = (time.monotonic() + n_events / agg_rate + 60.0)
+                while (len(got_at) < n_events
+                       and time.monotonic() < deadline):
+                    quiet = True
+                    for ci, client in enumerate(clients):
+                        for fid, _rate in client.poll(timeout=0.0):
+                            quiet = False
+                            key = (ci, fid)
+                            if key in send_at and key not in got_at:
+                                got_at[key] = time.perf_counter()
+                    if quiet:
+                        time.sleep(0.0005)
+                thread.join(timeout=60.0)
+                per_client = [[] for _ in range(n_clients)]
+                for key, t1 in got_at.items():
+                    per_client[key[0]].append(t1 - send_at[key])
+                if got_at:
+                    phases.append(per_client)
+            clients[0].shutdown_service()
+        finally:
+            for client in clients:
+                try:
+                    client.close()
+                except Exception:
+                    pass
+
+    if not phases:
+        raise RuntimeError("service_fanout: no rate updates observed")
+
+    def phase_p50(per_client):
+        lat = np.concatenate([np.asarray(x) for x in per_client if x])
+        return float(np.percentile(lat, 50))
+
+    best = min(phases, key=phase_p50)
+    all_lat = np.concatenate([np.asarray(x) for x in best if x])
+    client_p99 = np.array([float(np.percentile(np.asarray(x), 99))
+                           for x in best if x])
+    client_mean = np.array([float(np.mean(np.asarray(x)))
+                            for x in best if x])
+    # Jain's fairness index over per-client mean latency: 1.0 when
+    # the duty cycle serves every client equally.
+    jain = (float(client_mean.sum()) ** 2
+            / (len(client_mean) * float((client_mean ** 2).sum())))
+    p50 = float(np.percentile(all_lat, 50))
+    p99 = float(np.percentile(all_lat, 99))
+    return {
+        "ops_per_sec": 1.0 / p50,
+        "p50_ms": 1e3 * p50,
+        "p99_ms": 1e3 * p99,
+        "client_p99_ms_median": 1e3 * float(np.median(client_p99)),
+        "client_p99_ms_max": 1e3 * float(client_p99.max()),
+        "jain_fairness": jain,
+        "clients_observed": int(len(client_mean)),
+        "received": int(sum(len(x) for x in best)),
+        "params": {"n_clients": n_clients,
+                   "flows_per_client": flows_each,
+                   "events_per_client": events_each,
+                   "aggregate_rate_per_sec": agg_rate,
+                   "phases": phases_n, "seed": seed,
+                   "churn_rate": 200.0, "churn_burst": 400.0},
+    }
+
+
 BENCHMARKS = {
     "calibration": lambda mode: bench_calibration(mode),
     "iterate_churn_1k": lambda mode: bench_iterate_churn(1_000, mode),
@@ -765,6 +936,7 @@ BENCHMARKS = {
     "barrier_step": lambda mode: bench_barrier_step(mode),
     "socket_frame_batch": lambda mode: bench_socket_frame_batch(mode),
     "service_latency": lambda mode: bench_service_latency(mode),
+    "service_fanout": lambda mode: bench_service_fanout(mode),
     "parallel_speedup": lambda mode: bench_parallel_speedup(mode),
     "parallel_speedup_socket": lambda mode: bench_parallel_speedup(
         mode, fabric="socket", workers_key="socket_workers"),
@@ -835,14 +1007,22 @@ def step_summary_markdown(results, baseline_results, tolerance, mode):
             continue
         ops = entry["ops_per_sec"]
         ops_s = f"{ops:,.1f}"
+        detail = None
+        if "client_p99_ms_median" in entry:
+            # The fan-out lane's per-client tail: is any single client
+            # being starved by the duty cycle?
+            detail = (f"per-client p99 "
+                      f"{entry['client_p99_ms_median']:.1f}ms med / "
+                      f"{entry['client_p99_ms_max']:.1f}ms max, "
+                      f"Jain {entry['jain_fairness']:.3f}")
         if name in UNGATED or cal is None:
-            detail = "ungated"
             speedups = entry.get("speedup_vs_single_core")
             if speedups:
-                detail = "ungated; speedup vs 1-core: " + " ".join(
+                detail = "speedup vs 1-core: " + " ".join(
                     f"{w}w={s:.2f}x" for w, s in sorted(
                         speedups.items(), key=lambda kv: int(kv[0])))
-            rows.append([name, ops_s, None, None, None, detail])
+            rows.append([name, ops_s, None, None, None, "ungated",
+                         detail])
             continue
         score = ops / cal
         if name in base:
@@ -850,11 +1030,13 @@ def step_summary_markdown(results, baseline_results, tolerance, mode):
             delta = 100.0 * (score / base[name] - 1.0)
             status = "ok" if score >= floor else "**REGRESSION**"
             rows.append([name, ops_s, f"{score:.4f}", f"{floor:.4f}",
-                         f"{delta:+.1f}%", status])
+                         f"{delta:+.1f}%", status, detail])
         else:
-            rows.append([name, ops_s, f"{score:.4f}", None, None, "new"])
+            rows.append([name, ops_s, f"{score:.4f}", None, None, "new",
+                         detail])
     table = report.format_table(
-        ["benchmark", "ops/sec", "score", "floor", "Δ vs base", "status"],
+        ["benchmark", "ops/sec", "score", "floor", "Δ vs base", "status",
+         "detail"],
         rows, markdown=True)
     return (f"### Hot-path benchmarks ({mode} mode)\n\n{table}\n\n"
             "scores are ops/sec normalized by the calibration kernel; "

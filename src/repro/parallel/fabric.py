@@ -70,7 +70,7 @@ __all__ = ["FabricError", "SenseReversingBarrier", "SharedMemoryFabric",
            "send_frame", "recv_frame", "TAG_CTRL", "TAG_DATA",
            "PeerBatch", "RecvBatch", "exchange_batches",
            "encode_cell_snapshot", "encode_cell_delta",
-           "apply_cell_update"]
+           "apply_cell_update", "connect_retry"]
 
 
 class FabricError(RuntimeError):
@@ -839,10 +839,16 @@ def _clamp_buffers(sock, sockbuf):
             pass
 
 
-def _connect_retry(address, attempts=50, delay=0.1, sockbuf=None):
+def connect_retry(address, attempts=50, delay=0.1, sockbuf=None):
     """``socket.create_connection`` semantics (every ``getaddrinfo``
     candidate across families is tried) with retries, plus the buffer
-    clamp applied *before* connect so it lands in the SYN."""
+    clamp applied *before* connect so it lands in the SYN.
+
+    Shared by the fabric bootstrap, the socket workers, and the
+    allocator-service client (including its reconnect path): one
+    connector, one retry/backoff policy, one place the clamp is
+    guaranteed to precede ``connect``.
+    """
     host, port = tuple(address)
     last = None
     for _ in range(attempts):
@@ -869,6 +875,9 @@ def _connect_retry(address, attempts=50, delay=0.1, sockbuf=None):
         time.sleep(delay)
     raise FabricError(f"cannot reach {address}: {last}")
 
+
+#: Back-compat alias (pre-PR 7 internal name).
+_connect_retry = connect_retry
 
 #: Handshake token length (raw bytes, sent before any pickled frame).
 _TOKEN_LEN = 16
@@ -934,7 +943,7 @@ def _socket_worker_entry(host, port, worker_id, bind_host="127.0.0.1",
     _clamp_buffers(listener, sockbuf)
     listener.bind((bind_host, 0))
     listener.listen(64)
-    parent = _connect_retry((host, port))
+    parent = connect_retry((host, port))
     parent.sendall(token)
     send_ctrl(parent, ("hello", worker_id,
                        (bind_host, listener.getsockname()[1])))
@@ -946,7 +955,7 @@ def _socket_worker_entry(host, port, worker_id, bind_host="127.0.0.1",
         _clamp_buffers(listener, sockbuf)  # best-effort (see docstring)
     for j, address in boot["peers"].items():
         if j < worker_id:
-            sock = _connect_retry(tuple(address), sockbuf=sockbuf)
+            sock = connect_retry(tuple(address), sockbuf=sockbuf)
             sock.sendall(token)
             send_ctrl(sock, ("peer", worker_id))
             peers[j] = sock

@@ -41,6 +41,22 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float, default=0.01)
     parser.add_argument("--iters-per-cycle", type=int, default=1)
     parser.add_argument("--min-cycle", type=float, default=0.0005)
+    parser.add_argument("--resume-grace", type=float, default=2.0,
+                        help="seconds a dropped client's flows stay "
+                             "alive awaiting a RESUME (0 disables "
+                             "resumption)")
+    parser.add_argument("--churn-rate", type=float, default=None,
+                        help="per-client churn-event budget, events/sec "
+                             "(default: unlimited)")
+    parser.add_argument("--churn-burst", type=float, default=None,
+                        help="token-bucket depth for --churn-rate "
+                             "(default: one second's worth)")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="per-client bound on queued-but-unapplied "
+                             "churn events (auto mode only)")
+    parser.add_argument("--max-outbox", type=int, default=1 << 23,
+                        help="slow-reader bound: unsent push bytes "
+                             "before a client is dropped")
     args = parser.parse_args(argv)
 
     token = parse_token(os.environ.get(_TOKEN_ENV), env_var=_TOKEN_ENV)
@@ -51,7 +67,10 @@ def main(argv=None):
         topology, host=args.host, port=args.port, token=token,
         mode=args.mode, gamma=args.gamma,
         update_threshold=args.threshold,
-        iters_per_cycle=args.iters_per_cycle, min_cycle=args.min_cycle)
+        iters_per_cycle=args.iters_per_cycle, min_cycle=args.min_cycle,
+        resume_grace=args.resume_grace, churn_rate=args.churn_rate,
+        churn_burst=args.churn_burst, max_pending=args.max_pending,
+        max_outbox=args.max_outbox)
     print(f"SERVICE-READY {service.address[0]} {service.address[1]}",
           flush=True)
     try:

@@ -14,11 +14,35 @@ delta-encoded rate updates back out on PR 4's dirty-row pattern:
 per-client ``(base_seq, seq)``-chained RATES frames that the client
 rejects on sequence skew, with SNAPSHOT frames restarting the chain.
 
-Sends go through the fabric's :func:`~repro.parallel.fabric.send_frame`
-on sockets with a send timeout, so a stalled client that leaves half a
-frame on the wire trips the fabric's poisoned-connection path and is
-dropped — its flows are ended through the churn queue like any other
-dead client, and the allocation loop never wedges.
+Surviving unreliable clients (the PR 7 hardening):
+
+* **Sessions outlive sockets.**  Per-client state (the flow
+  namespace, the rate-chain position, a random ``resume_nonce``)
+  lives in a :class:`_Session`; when a connection dies without BYE the
+  session enters a ``resume_grace`` window during which its flows
+  stay in the allocator.  A RESUME frame presenting the matching
+  nonce re-binds the session to a new socket; the client replays its
+  un-acked churn journal (duplicates are reconciled, not fatal, while
+  the connection is in its replay window) and the rate chain restarts
+  from a fresh SNAPSHOT.  Grace expiry ends the flows exactly like
+  the old dead-client path.
+
+* **Ingest backpressure.**  Each connection owns a token bucket over
+  churn *events* (``churn_rate``/``churn_burst``); outrunning it gets
+  a BUSY credit reply and — the part a misbehaving client cannot
+  ignore — the server stops reading that socket until the bucket
+  refills, so TCP flow control throttles the sender while every other
+  client's frames keep flowing.  ``max_pending`` bounds how many
+  queued-but-unapplied events one client may hold between duty
+  cycles the same way.
+
+* **Slow-reader protection.**  Pushes never block the duty cycle:
+  every send goes through a per-client outbox flushed by nonblocking
+  writes under the selector.  An outbox that outgrows
+  ``max_outbox`` bytes, or makes no progress for ``send_timeout``
+  seconds, is the poison path — the client is dropped (into the
+  grace window, so a stalled-but-alive endpoint may still resume)
+  and the allocation loop never wedges.
 """
 
 from __future__ import annotations
@@ -27,20 +51,23 @@ import os
 import secrets
 import selectors
 import socket as socketlib
+import struct
 import subprocess
 import sys
 import threading
 import time
+from collections import deque
 
 from ..core import FlowtuneAllocator
 from ..core.allocator import ChurnQueue
-from ..parallel.fabric import _TOKEN_LEN, FabricError, send_frame
+from ..parallel.fabric import _TOKEN_LEN
 from . import wire
 from .wire import TAG_SERVICE, FrameBuffer, WireError
 
 __all__ = ["FlowtuneService", "spawn_service", "ServiceHandle"]
 
 _RECV_CHUNK = 1 << 16
+_FRAME_HEADER = struct.Struct("!II")
 
 
 def _as_token(token):
@@ -55,21 +82,58 @@ def _as_token(token):
     return token
 
 
+class _Session:
+    """Per-client state that survives the socket: the flow namespace,
+    the rate-chain position, and the resume credentials."""
+
+    __slots__ = ("client_id", "nonce", "flows", "seq", "disconnected_at",
+                 "client")
+
+    def __init__(self, client_id, nonce):
+        self.client_id = client_id
+        self.nonce = nonce            # u64; authenticates RESUME
+        self.flows = set()            # client-local flow ids live
+        self.seq = 0                  # rate-update chain position
+        self.disconnected_at = None   # monotonic time, or None if bound
+        self.client = None            # the live _Client, or None
+
+
 class _Client:
-    """Per-connection state machine: token -> HELLO -> frames."""
+    """Per-connection state machine: token -> HELLO/RESUME -> frames."""
 
-    __slots__ = ("sock", "buf", "client_id", "flows", "seq", "token_buf",
-                 "authed", "helloed")
+    __slots__ = ("sock", "buf", "session", "token_buf", "authed",
+                 "helloed", "replaying", "pending_snapshot", "outbox",
+                 "outbox_since", "events", "tokens", "tokens_at",
+                 "paused_until", "pending_events")
 
-    def __init__(self, sock):
+    def __init__(self, sock, tokens):
         self.sock = sock
         self.buf = FrameBuffer()
-        self.client_id = None     # assigned at HELLO
-        self.flows = set()        # client-local flow ids currently live
-        self.seq = 0              # rate-update chain position
+        self.session = None           # bound at HELLO / RESUME
         self.token_buf = bytearray()
         self.authed = False
         self.helloed = False
+        # True for the whole life of a RESUMEd connection: churn on it
+        # is reconciled idempotently (the snapshot can be generated
+        # before the replayed frames even arrive in auto mode, so the
+        # window cannot safely close any earlier).
+        self.replaying = False
+        self.pending_snapshot = False
+        self.outbox = bytearray()     # framed bytes awaiting the socket
+        self.outbox_since = 0.0       # when the outbox last made progress
+        self.events = 0               # selector mask currently registered
+        self.tokens = tokens          # churn token bucket (None = off)
+        self.tokens_at = time.monotonic()
+        self.paused_until = 0.0       # reads paused for bucket refill
+        self.pending_events = 0       # queued-not-applied churn events
+
+    @property
+    def client_id(self):
+        return self.session.client_id if self.session is not None else None
+
+    @property
+    def flows(self):
+        return self.session.flows if self.session is not None else set()
 
 
 class FlowtuneService:
@@ -93,6 +157,31 @@ class FlowtuneService:
     token:
         16 raw bytes, their hex form, or ``None`` to generate one
         (read it back from :attr:`token_hex`).
+    resume_grace:
+        Seconds a dropped (non-BYE) client's flows stay alive awaiting
+        a RESUME; ``0`` disables resumption (flows end immediately,
+        the pre-PR 7 behavior).
+    churn_rate, churn_burst:
+        Per-client token bucket over churn *events* (flows in
+        START/END batches, items in USAGE reports): sustained
+        events/sec and bucket depth.  ``None`` (default) disables rate
+        limiting.  A client over budget gets one BUSY credit reply
+        and is not read again until the bucket refills.
+    max_pending:
+        Per-client bound on queued-but-unapplied churn events; a
+        client at the bound is not read again until the next duty
+        cycle drains the queue.  ``None`` (default) disables.
+        Meaningful in auto mode only — manual mode drains on STEP,
+        which could never arrive if its own connection were paused.
+    max_outbox, send_timeout:
+        Slow-reader bounds: a client whose unsent push backlog
+        exceeds ``max_outbox`` bytes, or whose socket accepts nothing
+        for ``send_timeout`` seconds while pushes are pending, is
+        dropped (into the grace window).
+    sockbuf:
+        Optional SO_SNDBUF/SO_RCVBUF clamp applied to accepted
+        sockets (tests use this to exercise the slow-reader path with
+        small pushes).
 
     Allocator knobs (``utility``, ``update_threshold``, ``gamma``,
     ``max_route_len``) are passed through to
@@ -103,9 +192,15 @@ class FlowtuneService:
                  token=None, update_threshold=0.01, gamma=1.0,
                  max_route_len=8, mode="auto", iters_per_cycle=1,
                  min_cycle=0.0005, idle_timeout=0.05, quiet_after=3,
-                 send_timeout=10.0):
+                 send_timeout=10.0, resume_grace=2.0, churn_rate=None,
+                 churn_burst=None, max_pending=None, max_outbox=1 << 23,
+                 sockbuf=None):
         if mode not in ("auto", "manual"):
             raise ValueError(f"mode must be 'auto' or 'manual', got {mode!r}")
+        if max_pending is not None and mode == "manual":
+            raise ValueError("max_pending pauses reads until a drain, but "
+                             "manual mode drains only on STEP — the pause "
+                             "would deadlock; use auto mode")
         links = network.link_set() if hasattr(network, "link_set") else network
         self.allocator = FlowtuneAllocator(
             links, utility=utility, update_threshold=update_threshold,
@@ -117,12 +212,26 @@ class FlowtuneService:
         self.idle_timeout = float(idle_timeout)
         self.quiet_after = int(quiet_after)
         self.send_timeout = float(send_timeout)
+        self.resume_grace = float(resume_grace)
+        self.churn_rate = None if churn_rate is None else float(churn_rate)
+        if self.churn_rate is not None and self.churn_rate <= 0:
+            raise ValueError("churn_rate must be > 0 (or None to disable)")
+        if churn_burst is None:
+            churn_burst = self.churn_rate
+        self.churn_burst = None if churn_burst is None else \
+            max(1.0, float(churn_burst))
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.max_outbox = int(max_outbox)
+        self.sockbuf = sockbuf
         self._token = _as_token(token)
         self.stats = {"frames_in": 0, "frames_out": 0, "cycles": 0,
                       "iterations": 0, "paper_bytes_in": 0,
-                      "paper_bytes_out": 0, "clients_dropped": 0}
+                      "paper_bytes_out": 0, "clients_dropped": 0,
+                      "resumes": 0, "sessions_expired": 0,
+                      "busy_sent": 0, "slow_readers_dropped": 0}
 
         self._clients = {}          # sock -> _Client
+        self._sessions = {}         # client_id -> _Session
         self._next_client_id = 1
         self._quiet_rounds = 0
         self._last_cycle = 0.0
@@ -137,7 +246,7 @@ class FlowtuneService:
         self._listener.setsockopt(socketlib.SOL_SOCKET,
                                   socketlib.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(64)
+        self._listener.listen(128)
         self._listener.setblocking(False)
         self.address = self._listener.getsockname()[:2]
         # Self-pipe so close()/start() from other threads wake select.
@@ -176,34 +285,76 @@ class FlowtuneService:
         self._running = True
         try:
             while self._running:
+                self._tick()
                 timeout = self._select_timeout()
-                for key, _ in self._sel.select(timeout):
+                for key, events in self._sel.select(timeout):
                     if key.data == "accept":
                         self._accept()
                     elif key.data == "wake":
                         self._drain_wake()
                     else:
-                        self._service_readable(key.data)
+                        if events & selectors.EVENT_WRITE:
+                            self._flush(key.data)
+                        if (events & selectors.EVENT_READ
+                                and key.data.sock in self._clients):
+                            self._service_readable(key.data)
                 if self.mode == "auto":
                     self._auto_cycle()
         finally:
             self._running = False
 
+    def _snapshot_pending(self):
+        return any(c.pending_snapshot for c in self._clients.values())
+
     def _select_timeout(self):
         if self.mode == "manual":
-            return self.idle_timeout
-        if self.queue:
+            timeout = self.idle_timeout
+        elif self.queue or self._snapshot_pending():
             # Churn is latency-critical (admission-to-rate-update is
             # the serving SLO): allocate on the next loop turn, no
             # pacing.
-            return 0.0
-        if self._quiet_rounds < self.quiet_after and self.allocator.n_flows:
+            timeout = 0.0
+        elif self._quiet_rounds < self.quiet_after and self.allocator.n_flows:
             due = self._last_cycle + self.min_cycle - time.monotonic()
-            return max(0.0, min(due, self.idle_timeout))
-        return self.idle_timeout
+            timeout = max(0.0, min(due, self.idle_timeout))
+        else:
+            timeout = self.idle_timeout
+        if timeout > 0.0:
+            # Wake in time for the nearest bucket refill or grace
+            # expiry, so paused clients resume and orphaned sessions
+            # end without waiting out a full idle interval.
+            now = time.monotonic()
+            for client in self._clients.values():
+                if client.paused_until > now:
+                    timeout = min(timeout, client.paused_until - now)
+            for session in self._sessions.values():
+                if session.client is None and \
+                        session.disconnected_at is not None:
+                    due = session.disconnected_at + self.resume_grace - now
+                    timeout = min(timeout, max(0.0, due))
+        return timeout
+
+    def _tick(self):
+        """Timer-driven housekeeping, once per loop turn."""
+        now = time.monotonic()
+        for client in list(self._clients.values()):
+            if client.paused_until and client.paused_until <= now:
+                client.paused_until = 0.0
+                self._set_events(client)
+            if client.outbox and \
+                    now - client.outbox_since > self.send_timeout:
+                # No byte accepted for send_timeout: wedged reader.
+                self.stats["slow_readers_dropped"] += 1
+                self._drop_client(client)
+        expired = [s for s in self._sessions.values()
+                   if s.client is None and s.disconnected_at is not None
+                   and now - s.disconnected_at >= self.resume_grace]
+        for session in expired:
+            self._end_session(session)
+            self.stats["sessions_expired"] += 1
 
     def _auto_cycle(self):
-        if not self.queue:
+        if not self.queue and not self._snapshot_pending():
             # min_cycle paces only the churnless convergence cycles,
             # so re-converging never starves frame ingestion.
             converging = (self._quiet_rounds < self.quiet_after
@@ -228,10 +379,11 @@ class FlowtuneService:
             self._wake_w.send(b"\0")
         except OSError:  # pragma: no cover - wake pipe already gone
             pass
-        if self._thread is not None and self._thread is not threading.current_thread():
+        if (self._thread is not None
+                and self._thread is not threading.current_thread()):
             self._thread.join(timeout=10.0)
         for client in list(self._clients.values()):
-            self._drop_client(client, end_flows=False)
+            self._drop_client(client, session_action="keep")
         self._sel.unregister(self._listener)
         self._sel.unregister(self._wake_r)
         self._listener.close()
@@ -256,12 +408,18 @@ class FlowtuneService:
                 return
             except OSError:  # pragma: no cover - listener closing
                 return
-            sock.settimeout(self.send_timeout)
+            sock.setblocking(False)
             sock.setsockopt(socketlib.IPPROTO_TCP,
                             socketlib.TCP_NODELAY, 1)
-            client = _Client(sock)
+            if self.sockbuf:
+                sock.setsockopt(socketlib.SOL_SOCKET,
+                                socketlib.SO_SNDBUF, int(self.sockbuf))
+                sock.setsockopt(socketlib.SOL_SOCKET,
+                                socketlib.SO_RCVBUF, int(self.sockbuf))
+            client = _Client(sock, self.churn_burst)
             self._clients[sock] = client
             self._sel.register(sock, selectors.EVENT_READ, client)
+            client.events = selectors.EVENT_READ
 
     def _drain_wake(self):
         try:
@@ -269,6 +427,37 @@ class FlowtuneService:
                 pass
         except (BlockingIOError, OSError):
             pass
+
+    def _paused(self, client):
+        if client.paused_until > time.monotonic():
+            return True
+        return (self.max_pending is not None
+                and client.pending_events >= self.max_pending)
+
+    def _set_events(self, client):
+        """Reconcile the selector registration with the client's state:
+        read unless paused (backpressure), write while the outbox has
+        bytes.  A fully-paused empty-outbox client is unregistered and
+        woken by the timer path."""
+        if client.sock not in self._clients:
+            return
+        want = 0
+        if not self._paused(client):
+            want |= selectors.EVENT_READ
+        if client.outbox:
+            want |= selectors.EVENT_WRITE
+        if want == client.events:
+            return
+        try:
+            if client.events == 0:
+                self._sel.register(client.sock, want, client)
+            elif want == 0:
+                self._sel.unregister(client.sock)
+            else:
+                self._sel.modify(client.sock, want, client)
+        except (KeyError, ValueError):  # pragma: no cover - racing close
+            pass
+        client.events = want
 
     def _service_readable(self, client):
         try:
@@ -296,7 +485,9 @@ class FlowtuneService:
         except WireError as exc:
             # Stream no longer trustworthy: best-effort ERROR, drop.
             self._send_error(client, str(exc))
-            self._drop_client(client)
+            self._drop_client(client, session_action="end")
+            return
+        self._set_events(client)
 
     def _consume_token(self, client, data):
         """Raw-token phase; returns leftover bytes once authenticated,
@@ -307,47 +498,119 @@ class FlowtuneService:
         presented = bytes(client.token_buf[:_TOKEN_LEN])
         if not secrets.compare_digest(presented, self._token):
             # Same policy as the fabric: close without a hint.
-            self._drop_client(client)
+            self._drop_client(client, session_action="keep")
             return None
         client.authed = True
         rest = bytes(client.token_buf[_TOKEN_LEN:])
         client.token_buf = bytearray()
         return rest
 
-    def _drop_client(self, client, end_flows=True):
+    def _drop_client(self, client, session_action="grace"):
+        """Disconnect one client.  ``session_action`` decides the fate
+        of its session: ``"grace"`` (dead/slow connection — flows stay
+        alive for ``resume_grace`` seconds awaiting a RESUME),
+        ``"end"`` (BYE or a protocol violation — flows end now), or
+        ``"keep"`` (rebind/teardown — the session is not touched)."""
         if client.sock not in self._clients:
             return
         del self._clients[client.sock]
-        try:
-            self._sel.unregister(client.sock)
-        except (KeyError, ValueError):  # pragma: no cover
-            pass
+        if client.events:
+            try:
+                self._sel.unregister(client.sock)
+            except (KeyError, ValueError):  # pragma: no cover
+                pass
+            client.events = 0
         try:
             client.sock.close()
         except OSError:  # pragma: no cover
             pass
-        if end_flows and client.flows:
-            # Dead client: its flows end as if it had said so —
-            # coalescing makes starts it never got applied vanish.
-            for fid in client.flows:
-                self.queue.push_end((client.client_id, fid))
-            client.flows = set()
+        session = client.session
+        if session is not None and session.client is client:
+            session.client = None
+            if session_action == "end" or (session_action == "grace"
+                                           and self.resume_grace <= 0):
+                self._end_session(session)
+            elif session_action == "grace":
+                session.disconnected_at = time.monotonic()
         self.stats["clients_dropped"] += 1
 
+    def _end_session(self, session):
+        """End every flow the session holds (coalescing makes starts
+        that never got applied vanish) and forget it — after this the
+        client_id cannot be resumed."""
+        for fid in session.flows:
+            self.queue.push_end((session.client_id, fid))
+            self._usage.pop((session.client_id, fid), None)
+        session.flows = set()
+        session.disconnected_at = None
+        self._sessions.pop(session.client_id, None)
+
+    # ------------------------------------------------------------------
+    # sending (nonblocking, per-client outbox)
+    # ------------------------------------------------------------------
     def _send(self, client, payload):
+        """Queue one frame and flush opportunistically.  Never blocks:
+        what the socket refuses waits in the outbox for EVENT_WRITE."""
+        if client.sock not in self._clients:
+            return False
+        if not client.outbox:
+            client.outbox_since = time.monotonic()
+        client.outbox += _FRAME_HEADER.pack(len(payload), TAG_SERVICE)
+        client.outbox += payload
+        # Stats go up *before* the flush: the send syscall yields the
+        # GIL, and a test thread woken by the arriving frame must
+        # already see it counted.
+        self.stats["frames_out"] += 1
+        return self._flush(client)
+
+    def _flush(self, client):
+        """Drive the outbox with nonblocking writes; apply the
+        slow-reader bound.  Returns False if the client was dropped."""
         try:
-            send_frame(client.sock, TAG_SERVICE, payload)
-        except (FabricError, TimeoutError, OSError):
-            # Partial frames poisoned the socket inside send_frame;
-            # either way this client is gone.
+            while client.outbox:
+                n = client.sock.send(memoryview(client.outbox))
+                if n == 0:  # pragma: no cover - send never returns 0
+                    break
+                del client.outbox[:n]
+                client.outbox_since = time.monotonic()
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
             self._drop_client(client)
             return False
-        self.stats["frames_out"] += 1
+        if len(client.outbox) > self.max_outbox:
+            # Bounded buffering exhausted: the poison path.
+            self.stats["slow_readers_dropped"] += 1
+            self._drop_client(client)
+            return False
+        self._set_events(client)
         return True
 
     def _send_error(self, client, message):
         if client.authed and client.sock in self._clients:
             self._send(client, wire.encode_error(message))
+
+    # ------------------------------------------------------------------
+    # ingest backpressure
+    # ------------------------------------------------------------------
+    def _debit(self, client, n_events):
+        """Charge ``n_events`` against the client's token bucket; on
+        deficit, send one BUSY credit reply and pause reads until the
+        bucket refills (TCP flow control does the rest)."""
+        if self.churn_rate is None or n_events == 0:
+            return
+        now = time.monotonic()
+        client.tokens = min(
+            self.churn_burst,
+            client.tokens + (now - client.tokens_at) * self.churn_rate)
+        client.tokens_at = now
+        client.tokens -= n_events
+        if client.tokens < 0:
+            wait = -client.tokens / self.churn_rate
+            client.paused_until = now + wait
+            self.stats["busy_sent"] += 1
+            self._send(client, wire.encode_busy(wait,
+                                                int(self.churn_burst)))
 
     # ------------------------------------------------------------------
     # frame dispatch
@@ -356,13 +619,12 @@ class FlowtuneService:
         kind, body = wire.decode_message(payload)
         self.stats["frames_in"] += 1
         if not client.helloed:
-            if kind != wire.HELLO:
-                raise WireError("first frame must be HELLO")
-            client.helloed = True
-            client.client_id = self._next_client_id
-            self._next_client_id += 1
-            self._send(client, wire.encode_welcome(
-                client.client_id, self.allocator.full_links.n_links))
+            if kind == wire.HELLO:
+                self._bind_new_session(client)
+            elif kind == wire.RESUME:
+                self._resume_session(client, body)
+            else:
+                raise WireError("first frame must be HELLO or RESUME")
             return
         if kind == wire.START:
             self._on_start(client, body)
@@ -373,48 +635,116 @@ class FlowtuneService:
         elif kind == wire.STEP:
             self._on_step(client, body)
         elif kind == wire.BYE:
-            self._drop_client(client)
+            self._drop_client(client, session_action="end")
         elif kind == wire.SHUTDOWN:
             self._running = False
         else:
             raise WireError(f"kind {kind} is not valid client->server")
 
+    def _bind_new_session(self, client):
+        session = _Session(self._next_client_id,
+                           int.from_bytes(secrets.token_bytes(8), "big"))
+        self._next_client_id += 1
+        session.client = client
+        client.session = session
+        client.helloed = True
+        self._sessions[session.client_id] = session
+        self._send(client, wire.encode_welcome(
+            session.client_id, self.allocator.full_links.n_links,
+            session.nonce))
+
+    def _resume_session(self, client, body):
+        """Re-bind an existing session to this connection.  The nonce
+        gates adoption; ``last_applied_seq`` is informational — rates
+        may have moved with no frame sent while the client was gone,
+        so the chain always restarts from a fresh SNAPSHOT."""
+        client_id, nonce, _last_applied_seq = body
+        session = self._sessions.get(client_id)
+        if session is None or session.nonce != nonce:
+            # Stale or forged resume: reject without touching any
+            # session (the real owner may still be in its grace
+            # window).
+            self._send_error(client,
+                             f"stale resume for client {client_id}: "
+                             "unknown session or nonce mismatch")
+            self._drop_client(client, session_action="keep")
+            return
+        old = session.client
+        if old is not None and old is not client:
+            # A half-dead predecessor still holds the session: detach
+            # it without ending flows — this RESUME supersedes it.
+            self._drop_client(old, session_action="keep")
+        session.client = client
+        session.disconnected_at = None
+        client.session = session
+        client.helloed = True
+        client.replaying = True
+        client.pending_snapshot = True
+        self.stats["resumes"] += 1
+        self._send(client, wire.encode_welcome(
+            client_id, self.allocator.full_links.n_links, session.nonce))
+
     def _on_start(self, client, flows):
         # Validate the whole batch *before* queueing any of it, so a
         # bad event can never reach apply_churn mid-cycle and take the
-        # allocator down for every other client.
+        # allocator down for every other client.  In the replay window
+        # after a RESUME, duplicates are reconciled (skipped): the
+        # journal may replay starts the server already applied.
+        session = client.session
         seen = set()
-        for fid, _route, weight in flows:
-            if fid in client.flows or fid in seen:
+        fresh = []
+        for fid, route, weight in flows:
+            if fid in session.flows or fid in seen:
+                if client.replaying:
+                    continue
                 self._send_error(client, f"duplicate flowlet start: {fid}")
-                self._drop_client(client)
+                self._drop_client(client, session_action="end")
                 return
             if weight <= 0:
                 self._send_error(client, f"flow {fid}: weight must be > 0")
-                self._drop_client(client)
+                self._drop_client(client, session_action="end")
                 return
             seen.add(fid)
-        for fid, route, weight in flows:
-            self.queue.push_start((client.client_id, fid), route, weight)
-            client.flows.add(fid)
+            fresh.append((fid, route, weight))
+        for fid, route, weight in fresh:
+            self.queue.push_start((session.client_id, fid), route, weight)
+            session.flows.add(fid)
+        client.pending_events += len(fresh)
+        self._debit(client, len(flows))
         self.stats["paper_bytes_in"] += wire.paper_wire_bytes(
             wire.START, len(flows))
 
     def _on_end(self, client, fids):
+        # Batch-local seen-set: an END listing the same id twice must
+        # be caught here (the loop doesn't mutate session.flows, so
+        # membership alone cannot catch the second occurrence).
+        session = client.session
+        seen = set()
+        fresh = []
         for fid in fids:
-            if fid not in client.flows:
+            if fid not in session.flows or fid in seen:
+                if client.replaying:
+                    continue
                 self._send_error(client, f"end of unknown flowlet: {fid}")
-                self._drop_client(client)
+                self._drop_client(client, session_action="end")
                 return
-        for fid in fids:
-            self.queue.push_end((client.client_id, fid))
-            client.flows.discard(fid)
+            seen.add(fid)
+            fresh.append(fid)
+        for fid in fresh:
+            self.queue.push_end((session.client_id, fid))
+            session.flows.discard(fid)
+            self._usage.pop((session.client_id, fid), None)
+        client.pending_events += len(fresh)
+        self._debit(client, len(fids))
         self.stats["paper_bytes_in"] += wire.paper_wire_bytes(
             wire.END, len(fids))
 
     def _on_usage(self, client, reports):
+        session = client.session
         for fid, nbytes in reports:
-            self._usage[(client.client_id, fid)] = nbytes
+            if fid in session.flows:
+                self._usage[(session.client_id, fid)] = nbytes
+        self._debit(client, len(reports))
         self.stats["paper_bytes_in"] += wire.paper_wire_bytes(
             wire.USAGE, len(reports))
 
@@ -437,17 +767,30 @@ class FlowtuneService:
         self._last_result = result
         self.stats["cycles"] += 1
         self.stats["iterations"] += n_iters
+        snap_clients = {c for c in self._clients.values()
+                        if c.pending_snapshot and c.helloed}
+        if snapshot_to is not None:
+            snap_clients.add(snapshot_to)
         if len(result.update_indices):
             self._quiet_rounds = 0
-            self._push_updates(result, skip=snapshot_to)
+            self._push_updates(result, skip=snap_clients)
         else:
             self._quiet_rounds += 1
-        if snapshot_to is not None:
-            self._send_snapshot(snapshot_to, result)
+        if snap_clients:
+            rates = result.rates
+            for client in snap_clients:
+                self._send_snapshot(client, rates)
+        # The queue is fully drained: every client's pending events
+        # are applied, so depth-paused readers may resume.
+        for client in self._clients.values():
+            if client.pending_events:
+                client.pending_events = 0
+                self._set_events(client)
 
-    def _push_updates(self, result, skip=None):
+    def _push_updates(self, result, skip=()):
         """Group threshold-crossing updates per client and send each
-        client one delta frame chained on its last sequence number."""
+        client one delta frame chained on its session's sequence
+        number.  ``skip`` clients get a SNAPSHOT this cycle instead."""
         per_client = {}
         for (client_id, fid), rate in result.updates:
             per_client.setdefault(client_id, ([], []))
@@ -455,31 +798,33 @@ class FlowtuneService:
             per_client[client_id][1].append(rate)
         if not per_client:
             return
-        by_id = {c.client_id: c for c in self._clients.values()
-                 if c.helloed}
+        by_id = {c.session.client_id: c for c in self._clients.values()
+                 if c.helloed and c.session is not None}
         for client_id, (fids, rates) in per_client.items():
             client = by_id.get(client_id)
-            if client is None or client is skip:
+            if client is None or client in skip:
                 continue
-            base = client.seq
-            client.seq = base + 1
-            if self._send(client, wire.encode_rates(base, client.seq,
-                                                    fids, rates)):
-                self.stats["paper_bytes_out"] += wire.paper_wire_bytes(
-                    wire.RATES, len(fids))
+            session = client.session
+            base = session.seq
+            session.seq = base + 1
+            self.stats["paper_bytes_out"] += wire.paper_wire_bytes(
+                wire.RATES, len(fids))
+            self._send(client, wire.encode_rates(base, session.seq,
+                                                 fids, rates))
 
-    def _send_snapshot(self, client, result):
-        rates = result.rates
+    def _send_snapshot(self, client, rates):
+        session = client.session
         fids, vals = [], []
-        for fid in client.flows:
-            gfid = (client.client_id, fid)
+        for fid in session.flows:
+            gfid = (session.client_id, fid)
             if gfid in rates:
                 fids.append(fid)
                 vals.append(rates[gfid])
-        client.seq += 1
-        if self._send(client, wire.encode_snapshot(client.seq, fids, vals)):
-            self.stats["paper_bytes_out"] += wire.paper_wire_bytes(
-                wire.SNAPSHOT, len(fids))
+        session.seq += 1
+        client.pending_snapshot = False
+        self.stats["paper_bytes_out"] += wire.paper_wire_bytes(
+            wire.SNAPSHOT, len(fids))
+        self._send(client, wire.encode_snapshot(session.seq, fids, vals))
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (f"FlowtuneService(address={self.address}, mode={self.mode}, "
@@ -498,6 +843,26 @@ class ServiceHandle:
         self.address = address
         self.token_hex = token_hex
         self._closed = False
+        self._stderr_lines = deque(maxlen=200)
+        self._stderr_thread = None
+        if process.stderr is not None:
+            self._stderr_thread = threading.Thread(
+                target=self._drain_stderr, daemon=True,
+                name="service-stderr")
+            self._stderr_thread.start()
+
+    def _drain_stderr(self):
+        # Keep the child's stderr pipe drained (a full pipe would
+        # block it) while retaining a tail for diagnostics.
+        try:
+            for line in self.process.stderr:
+                self._stderr_lines.append(line.rstrip("\n"))
+        except ValueError:  # pragma: no cover - pipe closed mid-read
+            pass
+
+    def stderr_tail(self, n=20):
+        """The last ``n`` lines the child wrote to stderr."""
+        return list(self._stderr_lines)[-n:]
 
     def close(self, timeout=10.0):
         """Terminate the child (idempotent)."""
@@ -513,6 +878,10 @@ class ServiceHandle:
                 self.process.wait()
         if self.process.stdout is not None:
             self.process.stdout.close()
+        if self._stderr_thread is not None:
+            self._stderr_thread.join(timeout=timeout)
+        if self.process.stderr is not None:
+            self.process.stderr.close()
 
     def __enter__(self):
         return self
@@ -521,15 +890,68 @@ class ServiceHandle:
         self.close()
 
 
+def _await_ready_line(process, timeout):
+    """Bounded wait for the child's ``SERVICE-READY host port`` line.
+
+    ``readline`` runs in a helper thread so a child that dies before
+    printing (an import error lands on stderr, never stdout) or hangs
+    cannot wedge the spawner; on failure the child is killed and its
+    stderr is surfaced in the raised ``RuntimeError``.
+    """
+    result = {}
+
+    def reader():
+        try:
+            result["line"] = process.stdout.readline()
+        except ValueError:  # pragma: no cover - stdout closed under us
+            result["line"] = ""
+
+    thread = threading.Thread(target=reader, daemon=True,
+                              name="service-ready-reader")
+    thread.start()
+    thread.join(timeout)
+    line = (result.get("line") or "").strip()
+    parts = line.split()
+    if len(parts) == 3 and parts[0] == "SERVICE-READY":
+        return parts
+    timed_out = thread.is_alive()
+    if process.poll() is None:
+        process.kill()
+    process.wait(timeout=10.0)
+    thread.join(timeout=10.0)
+    stderr = ""
+    if process.stderr is not None:
+        try:
+            stderr = process.stderr.read() or ""
+        except ValueError:  # pragma: no cover
+            pass
+    detail = "no SERVICE-READY within timeout" if timed_out \
+        else f"got {line!r}"
+    message = (f"service child failed to start ({detail}, "
+               f"exit code {process.returncode})")
+    tail = stderr.strip().splitlines()[-10:]
+    if tail:
+        message += "; child stderr:\n" + "\n".join(tail)
+    raise RuntimeError(message)
+
+
 def spawn_service(*, racks=3, hosts_per_rack=8, spines=2, mode="auto",
                   gamma=1.0, update_threshold=0.01, iters_per_cycle=1,
-                  min_cycle=0.0005, host="127.0.0.1", extra_args=()):
+                  min_cycle=0.0005, host="127.0.0.1", resume_grace=None,
+                  churn_rate=None, churn_burst=None, max_pending=None,
+                  ready_timeout=30.0, extra_args=()):
     """Start ``python -m repro.service`` in a child process.
 
     Generates a token, exports it via ``$REPRO_SERVICE_TOKEN`` (never
     on the command line, where it would be visible in ``ps``), waits
-    for the child's ``SERVICE-READY host port`` line, and returns a
+    up to ``ready_timeout`` seconds for the child's ``SERVICE-READY
+    host port`` line (a child that dies or hangs first is killed and
+    its stderr surfaced in the ``RuntimeError``), and returns a
     :class:`ServiceHandle` with the bound address.
+
+    ``resume_grace``, ``churn_rate``, ``churn_burst`` and
+    ``max_pending`` forward the PR 7 hardening knobs when given
+    (``None`` keeps the CLI defaults).
     """
     token_hex = secrets.token_bytes(_TOKEN_LEN).hex()
     src_root = os.path.dirname(os.path.dirname(os.path.dirname(
@@ -543,14 +965,16 @@ def spawn_service(*, racks=3, hosts_per_rack=8, spines=2, mode="auto",
            "--spines", str(spines), "--mode", mode,
            "--gamma", str(gamma), "--threshold", str(update_threshold),
            "--iters-per-cycle", str(iters_per_cycle),
-           "--min-cycle", str(min_cycle), *extra_args]
+           "--min-cycle", str(min_cycle)]
+    for flag, value in (("--resume-grace", resume_grace),
+                        ("--churn-rate", churn_rate),
+                        ("--churn-burst", churn_burst),
+                        ("--max-pending", max_pending)):
+        if value is not None:
+            cmd += [flag, str(value)]
+    cmd += list(extra_args)
     process = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
-                               text=True)
-    line = process.stdout.readline().strip()
-    parts = line.split()
-    if len(parts) != 3 or parts[0] != "SERVICE-READY":
-        process.terminate()
-        process.wait(timeout=10.0)
-        raise RuntimeError(f"service child failed to start (got {line!r})")
+                               stderr=subprocess.PIPE, text=True)
+    parts = _await_ready_line(process, ready_timeout)
     address = (parts[1], int(parts[2]))
     return ServiceHandle(process, address, token_hex)

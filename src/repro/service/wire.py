@@ -19,6 +19,17 @@ rate crossed the §6.4 threshold, chained by ``(base_seq, seq)`` —
 the receiver rejects a frame whose ``base_seq`` does not match the
 last sequence it applied (version-skew rejection), and a ``SNAPSHOT``
 frame restarts the chain from scratch.
+
+Reconnection (wire version 2): ``WELCOME`` carries a per-session
+``resume_nonce``; a client whose connection died presents ``RESUME
+(client_id, resume_nonce, last_applied_seq)`` instead of ``HELLO`` and
+the server re-binds the surviving flow namespace (kept alive through a
+grace window), replays are reconciled idempotently, and the rate chain
+restarts from a fresh ``SNAPSHOT``.  ``BUSY`` is the ingest
+backpressure credit reply: ``(retry_after, credit)`` tells a client
+that outran its churn token bucket when tokens will be available
+again (the server also stops reading the connection until then, so
+even a client that ignores BUSY is throttled by TCP flow control).
 """
 
 from __future__ import annotations
@@ -32,15 +43,16 @@ from ..control.messages import PAYLOAD_BYTES, MessageType, batched_wire_bytes
 __all__ = [
     "WIRE_VERSION", "TAG_SERVICE", "WireError", "ServiceError",
     "HELLO", "WELCOME", "START", "END", "USAGE", "RATES", "STEP",
-    "SNAPSHOT", "ERROR", "BYE", "SHUTDOWN",
+    "SNAPSHOT", "ERROR", "BYE", "SHUTDOWN", "RESUME", "BUSY",
     "encode_hello", "encode_welcome", "encode_start", "encode_end",
     "encode_usage", "encode_rates", "encode_step", "encode_snapshot",
-    "encode_error", "encode_bye", "encode_shutdown",
-    "decode_message", "FrameBuffer", "paper_wire_bytes",
+    "encode_error", "encode_bye", "encode_shutdown", "encode_resume",
+    "encode_busy", "decode_message", "FrameBuffer", "paper_wire_bytes",
 ]
 
 #: Bump on any incompatible layout change; peers reject mismatches.
-WIRE_VERSION = 1
+#: v2: WELCOME grew ``resume_nonce``; RESUME and BUSY kinds added.
+WIRE_VERSION = 2
 
 #: Frame tag for service payloads — distinct from the fabric's
 #: TAG_CTRL (pickled) and TAG_DATA (raw float64) so a service frame
@@ -72,9 +84,11 @@ SNAPSHOT = 8    # server -> client: full rate state, resets the chain
 ERROR = 9       # server -> client: fatal per-connection error (utf-8)
 BYE = 10        # client -> server: graceful disconnect
 SHUTDOWN = 11   # client -> server: stop the whole service
+RESUME = 12     # client -> server: re-bind a session after a drop
+BUSY = 13       # server -> client: churn backpressure credit reply
 
 _KNOWN_KINDS = frozenset((HELLO, WELCOME, START, END, USAGE, RATES, STEP,
-                          SNAPSHOT, ERROR, BYE, SHUTDOWN))
+                          SNAPSHOT, ERROR, BYE, SHUTDOWN, RESUME, BUSY))
 
 _HDR = struct.Struct("!BB")           # version, kind
 _U32 = struct.Struct("!I")
@@ -82,6 +96,9 @@ _U32x2 = struct.Struct("!II")
 _U32x3 = struct.Struct("!III")
 _FLOW = struct.Struct("!QdH")         # flow_id, weight, route_len
 _USAGE_ITEM = struct.Struct("!Qd")    # flow_id, cumulative bytes
+_WELCOME = struct.Struct("!IIQ")      # client_id, n_links, resume_nonce
+_RESUME = struct.Struct("!IQI")       # client_id, nonce, last_applied_seq
+_BUSY = struct.Struct("!dI")          # retry_after seconds, credit
 
 _ID_DTYPE = np.dtype(">u8")
 _RATE_DTYPE = np.dtype(">f8")
@@ -97,8 +114,23 @@ def encode_hello():
     return _hdr(HELLO)
 
 
-def encode_welcome(client_id, n_links):
-    return _hdr(WELCOME) + _U32x2.pack(client_id, n_links)
+def encode_welcome(client_id, n_links, resume_nonce):
+    """``resume_nonce`` authenticates later RESUME attempts for this
+    session (a random u64; knowing the client_id alone must not let a
+    stranger adopt the session's flows)."""
+    return _hdr(WELCOME) + _WELCOME.pack(client_id, n_links, resume_nonce)
+
+
+def encode_resume(client_id, resume_nonce, last_applied_seq):
+    """Re-bind ``client_id``'s session after a dropped connection."""
+    return _hdr(RESUME) + _RESUME.pack(client_id, resume_nonce,
+                                       last_applied_seq)
+
+
+def encode_busy(retry_after, credit):
+    """Backpressure credit reply: churn tokens available again in
+    ``retry_after`` seconds, at which point ``credit`` events fit."""
+    return _hdr(BUSY) + _BUSY.pack(float(retry_after), int(credit))
 
 
 def encode_start(flows):
@@ -206,10 +238,22 @@ def decode_message(payload):
         return kind, None
 
     if kind == WELCOME:
-        _need(payload, off, _U32x2.size, "WELCOME body")
-        client_id, n_links = _U32x2.unpack_from(payload, off)
-        _exact(payload, off + _U32x2.size, "WELCOME")
-        return kind, (client_id, n_links)
+        _need(payload, off, _WELCOME.size, "WELCOME body")
+        client_id, n_links, nonce = _WELCOME.unpack_from(payload, off)
+        _exact(payload, off + _WELCOME.size, "WELCOME")
+        return kind, (client_id, n_links, nonce)
+
+    if kind == RESUME:
+        _need(payload, off, _RESUME.size, "RESUME body")
+        client_id, nonce, last_seq = _RESUME.unpack_from(payload, off)
+        _exact(payload, off + _RESUME.size, "RESUME")
+        return kind, (client_id, nonce, last_seq)
+
+    if kind == BUSY:
+        _need(payload, off, _BUSY.size, "BUSY body")
+        retry_after, credit = _BUSY.unpack_from(payload, off)
+        _exact(payload, off + _BUSY.size, "BUSY")
+        return kind, (retry_after, credit)
 
     if kind == START:
         _need(payload, off, _U32.size, "START count")
