@@ -21,9 +21,11 @@ Surviving the unreliable network (the PR 7 hardening):
   application is unconfirmed.  :meth:`reconnect` dials a fresh
   socket, presents the token, sends RESUME ``(client_id,
   resume_nonce, last_applied_seq)`` and the journal replay in one
-  burst, and waits for the WELCOME re-adoption.  The server treats a
-  resumed connection's churn idempotently, so replaying something it
-  already applied is reconciled, not fatal.  The delta chain is void
+  burst closed by REPLAY_DONE, and waits for the WELCOME re-adoption.
+  The server treats churn before the REPLAY_DONE idempotently, so
+  replaying something it already applied is reconciled, not fatal —
+  and after it duplicates are protocol violations again, so the
+  replay window cannot mask real bugs.  The delta chain is void
   after a reconnect (``_last_seq`` is ``None``) until a fresh
   SNAPSHOT re-bases it; stray deltas in between are dropped.
 
@@ -149,12 +151,12 @@ class FlowtuneClient:
             except FabricError:
                 if not self.auto_reconnect or self.client_id is None:
                     raise
-                self.reconnect()
-                # The journal replay covered journaled churn; re-send
-                # the originals anyway (reconciled if duplicated) so
-                # un-journaled kinds like STEP and USAGE aren't lost.
-                for payload in payloads:
-                    send_frame(self._sock, TAG_SERVICE, payload)
+                # The journal replay covers journaled churn; the
+                # originals ride inside the replay burst anyway —
+                # before REPLAY_DONE, where duplicates are reconciled
+                # — so un-journaled kinds like STEP and USAGE aren't
+                # lost.
+                self.reconnect(replay_extra=payloads)
 
     def flowlet_start(self, flow_id, route, weight=1.0):
         """Report one new backlogged flowlet on ``route``."""
@@ -162,7 +164,15 @@ class FlowtuneClient:
         self._send(wire.encode_start([(flow_id, route, weight)]))
 
     def flowlet_end(self, flow_id):
-        """Report one flowlet's queue drained."""
+        """Report one flowlet's queue drained.
+
+        Idempotent while the end is unconfirmed: re-ending a flow
+        whose end is still journaled (e.g. retrying after a send
+        failure — the journal replay already delivered it on
+        reconnect) is a no-op, not a wire duplicate the server would
+        reject once the replay window has closed."""
+        if self._end_journaled(flow_id):
+            return
         self._journal_end(flow_id)
         self._send(wire.encode_end([flow_id]))
 
@@ -173,9 +183,11 @@ class FlowtuneClient:
         starts = [s if len(s) == 3 else (s[0], s[1], 1.0) for s in starts]
         payloads = []
         if ends:
-            for fid in ends:
+            fresh = [fid for fid in ends if not self._end_journaled(fid)]
+            for fid in fresh:
                 self._journal_end(fid)
-            payloads.append(wire.encode_end(list(ends)))
+            if fresh:
+                payloads.append(wire.encode_end(fresh))
         if starts:
             for fid, route, weight in starts:
                 self._journal_start(fid, route, weight)
@@ -202,6 +214,13 @@ class FlowtuneClient:
         # lands the new route whichever prefix the server applied.
         self._acked.discard(fid)
         self._journal_live[fid] = (tuple(route), float(weight))
+
+    def _end_journaled(self, fid):
+        """True when ``fid``'s end is already journaled and the flow
+        was not restarted since — the end is delivered or will be by
+        the next replay, so re-sending it would only manufacture a
+        duplicate."""
+        return fid in self._pending_ends and fid not in self._journal_live
 
     def _journal_end(self, fid):
         self._journal_live.pop(fid, None)
@@ -240,17 +259,20 @@ class FlowtuneClient:
     # ------------------------------------------------------------------
     # reconnect / resume
     # ------------------------------------------------------------------
-    def reconnect(self):
+    def reconnect(self, replay_extra=()):
         """Dial a fresh connection and RESUME the existing session.
 
         Presents the token, then sends RESUME ``(client_id,
         resume_nonce, last_applied_seq)`` followed by the journal
-        replay in one burst, and waits for the server's WELCOME
-        re-adoption.  A stale nonce (the grace window expired, or the
-        service restarted) surfaces as :class:`ServiceError` from the
-        server's rejection.  After return the rate chain is void until
-        the next SNAPSHOT (``poll`` drops stray deltas; in manual mode
-        the next :meth:`step` re-bases it).
+        replay — plus any ``replay_extra`` payloads a failed send is
+        retrying — in one burst closed by REPLAY_DONE (everything
+        before it is reconciled idempotently server-side; everything
+        after is live traffic again), and waits for the server's
+        WELCOME re-adoption.  A stale nonce (the grace window expired,
+        or the service restarted) surfaces as :class:`ServiceError`
+        from the server's rejection.  After return the rate chain is
+        void until the next SNAPSHOT (``poll`` drops stray deltas; in
+        manual mode the next :meth:`step` re-bases it).
         """
         if self._closed:
             raise FabricError("client is closed")
@@ -274,6 +296,8 @@ class FlowtuneClient:
                                                self.resume_nonce,
                                                self._applied_seq)]
                 payloads += self._replay_payloads()
+                payloads += list(replay_extra)
+                payloads.append(wire.encode_replay_done())
                 for payload in payloads:
                     send_frame(sock, TAG_SERVICE, payload)
                 self._pump_until(lambda: self._welcomed, self.timeout,

@@ -22,10 +22,10 @@ Surviving unreliable clients (the PR 7 hardening):
   session enters a ``resume_grace`` window during which its flows
   stay in the allocator.  A RESUME frame presenting the matching
   nonce re-binds the session to a new socket; the client replays its
-  un-acked churn journal (duplicates are reconciled, not fatal, while
-  the connection is in its replay window) and the rate chain restarts
-  from a fresh SNAPSHOT.  Grace expiry ends the flows exactly like
-  the old dead-client path.
+  un-acked churn journal (duplicates are reconciled, not fatal, until
+  the client's REPLAY_DONE frame closes the replay window) and the
+  rate chain restarts from a fresh SNAPSHOT.  Grace expiry ends the
+  flows exactly like the old dead-client path.
 
 * **Ingest backpressure.**  Each connection owns a token bucket over
   churn *events* (``churn_rate``/``churn_burst``); outrunning it gets
@@ -113,10 +113,12 @@ class _Client:
         self.token_buf = bytearray()
         self.authed = False
         self.helloed = False
-        # True for the whole life of a RESUMEd connection: churn on it
-        # is reconciled idempotently (the snapshot can be generated
-        # before the replayed frames even arrive in auto mode, so the
-        # window cannot safely close any earlier).
+        # True from RESUME until the client's REPLAY_DONE frame:
+        # churn in that window is reconciled idempotently (the
+        # journal may replay what the server already applied).  The
+        # client closes the window explicitly — TCP ordering puts
+        # REPLAY_DONE after the whole burst — so duplicates on the
+        # connection's steady state are fatal again.
         self.replaying = False
         self.pending_snapshot = False
         self.outbox = bytearray()     # framed bytes awaiting the socket
@@ -228,7 +230,8 @@ class FlowtuneService:
                       "iterations": 0, "paper_bytes_in": 0,
                       "paper_bytes_out": 0, "clients_dropped": 0,
                       "resumes": 0, "sessions_expired": 0,
-                      "busy_sent": 0, "slow_readers_dropped": 0}
+                      "busy_sent": 0, "slow_readers_dropped": 0,
+                      "churn_rejected": 0}
 
         self._clients = {}          # sock -> _Client
         self._sessions = {}         # client_id -> _Session
@@ -240,6 +243,9 @@ class FlowtuneService:
         self._running = False
         self._closed = False
         self._thread = None
+        self._run_thread = None         # whichever thread is in run()
+        self._stopped = threading.Event()   # set while run() is not live
+        self._stopped.set()
         self._lock = threading.Lock()   # guards start/close transitions
 
         self._listener = socketlib.socket()
@@ -282,7 +288,12 @@ class FlowtuneService:
     def run(self):
         """Serve in the calling thread until :meth:`close` (or a
         client's SHUTDOWN frame)."""
-        self._running = True
+        with self._lock:
+            if self._closed:
+                return
+            self._running = True
+            self._run_thread = threading.current_thread()
+            self._stopped.clear()
         try:
             while self._running:
                 self._tick()
@@ -302,6 +313,7 @@ class FlowtuneService:
                     self._auto_cycle()
         finally:
             self._running = False
+            self._stopped.set()
 
     def _snapshot_pending(self):
         return any(c.pending_snapshot for c in self._clients.values())
@@ -374,7 +386,7 @@ class FlowtuneService:
             if self._closed:
                 return
             self._closed = True
-        self._running = False
+            self._running = False
         try:
             self._wake_w.send(b"\0")
         except OSError:  # pragma: no cover - wake pipe already gone
@@ -382,6 +394,12 @@ class FlowtuneService:
         if (self._thread is not None
                 and self._thread is not threading.current_thread()):
             self._thread.join(timeout=10.0)
+        elif self._run_thread is not threading.current_thread():
+            # run() may be serving on a caller-owned thread: wait for
+            # it to leave the loop (the wake pipe interrupts select)
+            # before unregistering and closing selector resources
+            # under it.
+            self._stopped.wait(timeout=10.0)
         for client in list(self._clients.values()):
             self._drop_client(client, session_action="keep")
         self._sel.unregister(self._listener)
@@ -634,6 +652,11 @@ class FlowtuneService:
             self._on_usage(client, body)
         elif kind == wire.STEP:
             self._on_step(client, body)
+        elif kind == wire.REPLAY_DONE:
+            # The resumed client's journal burst is over: duplicate
+            # churn goes back to being a protocol violation, so a
+            # long-lived resumed connection doesn't mask client bugs.
+            client.replaying = False
         elif kind == wire.BYE:
             self._drop_client(client, session_action="end")
         elif kind == wire.SHUTDOWN:
@@ -685,12 +708,17 @@ class FlowtuneService:
             client_id, self.allocator.full_links.n_links, session.nonce))
 
     def _on_start(self, client, flows):
-        # Validate the whole batch *before* queueing any of it, so a
-        # bad event can never reach apply_churn mid-cycle and take the
-        # allocator down for every other client.  In the replay window
-        # after a RESUME, duplicates are reconciled (skipped): the
-        # journal may replay starts the server already applied.
+        # Validate the whole batch *before* queueing any of it —
+        # duplicates, weights (the negated form also rejects NaN,
+        # which `weight <= 0` would pass), and route contents, the
+        # same checks FlowTable.add_flow applies — so a bad event can
+        # never reach apply_churn mid-cycle and take the allocator
+        # down for every other client.  In the replay window after a
+        # RESUME, duplicates are reconciled (skipped): the journal may
+        # replay starts the server already applied.
         session = client.session
+        max_hops = self.allocator.table.max_route_len
+        n_links = self.allocator.full_links.n_links
         seen = set()
         fresh = []
         for fid, route, weight in flows:
@@ -700,8 +728,20 @@ class FlowtuneService:
                 self._send_error(client, f"duplicate flowlet start: {fid}")
                 self._drop_client(client, session_action="end")
                 return
-            if weight <= 0:
+            if not (weight > 0):
                 self._send_error(client, f"flow {fid}: weight must be > 0")
+                self._drop_client(client, session_action="end")
+                return
+            if not 1 <= len(route) <= max_hops:
+                self._send_error(
+                    client, f"flow {fid}: route must have 1..{max_hops} "
+                    f"hops, got {len(route)}")
+                self._drop_client(client, session_action="end")
+                return
+            if int(route.max()) >= n_links:
+                self._send_error(
+                    client, f"flow {fid}: route contains an unknown "
+                    f"link index (links are 0..{n_links - 1})")
                 self._drop_client(client, session_action="end")
                 return
             seen.add(fid)
@@ -761,7 +801,24 @@ class FlowtuneService:
     def _allocate(self, n_iters, snapshot_to=None):
         starts, ends = self.queue.drain()
         if starts or ends:
-            self.allocator.apply_churn(starts=starts, ends=ends)
+            try:
+                self.allocator.apply_churn(starts=starts, ends=ends)
+            except (ValueError, KeyError):
+                # Dispatch-time validation should make this
+                # unreachable; if a poisoned batch slips through
+                # anyway, dropping it must not kill the serving loop
+                # for every client.  apply_churn applies ends before
+                # validating starts, so resync each session's flow
+                # set (and usage) against what the allocator actually
+                # holds.
+                self.stats["churn_rejected"] += 1
+                for session in self._sessions.values():
+                    dead = [fid for fid in session.flows
+                            if (session.client_id, fid)
+                            not in self.allocator]
+                    for fid in dead:
+                        session.flows.discard(fid)
+                        self._usage.pop((session.client_id, fid), None)
             self._quiet_rounds = 0
         result = self.allocator.iterate(n_iters)
         self._last_result = result

@@ -25,7 +25,10 @@ Reconnection (wire version 2): ``WELCOME`` carries a per-session
 (client_id, resume_nonce, last_applied_seq)`` instead of ``HELLO`` and
 the server re-binds the surviving flow namespace (kept alive through a
 grace window), replays are reconciled idempotently, and the rate chain
-restarts from a fresh ``SNAPSHOT``.  ``BUSY`` is the ingest
+restarts from a fresh ``SNAPSHOT``.  The client ends its replay burst
+with ``REPLAY_DONE``, which closes the reconcile window — duplicate
+churn after it is a protocol violation again, so a resumed connection
+does not mask real client bugs forever.  ``BUSY`` is the ingest
 backpressure credit reply: ``(retry_after, credit)`` tells a client
 that outran its churn token bucket when tokens will be available
 again (the server also stops reading the connection until then, so
@@ -44,14 +47,17 @@ __all__ = [
     "WIRE_VERSION", "TAG_SERVICE", "WireError", "ServiceError",
     "HELLO", "WELCOME", "START", "END", "USAGE", "RATES", "STEP",
     "SNAPSHOT", "ERROR", "BYE", "SHUTDOWN", "RESUME", "BUSY",
+    "REPLAY_DONE",
     "encode_hello", "encode_welcome", "encode_start", "encode_end",
     "encode_usage", "encode_rates", "encode_step", "encode_snapshot",
     "encode_error", "encode_bye", "encode_shutdown", "encode_resume",
-    "encode_busy", "decode_message", "FrameBuffer", "paper_wire_bytes",
+    "encode_busy", "encode_replay_done", "decode_message",
+    "FrameBuffer", "paper_wire_bytes",
 ]
 
 #: Bump on any incompatible layout change; peers reject mismatches.
-#: v2: WELCOME grew ``resume_nonce``; RESUME and BUSY kinds added.
+#: v2: WELCOME grew ``resume_nonce``; RESUME, BUSY and REPLAY_DONE
+#: kinds added.
 WIRE_VERSION = 2
 
 #: Frame tag for service payloads — distinct from the fabric's
@@ -86,9 +92,11 @@ BYE = 10        # client -> server: graceful disconnect
 SHUTDOWN = 11   # client -> server: stop the whole service
 RESUME = 12     # client -> server: re-bind a session after a drop
 BUSY = 13       # server -> client: churn backpressure credit reply
+REPLAY_DONE = 14  # client -> server: journal replay burst complete
 
 _KNOWN_KINDS = frozenset((HELLO, WELCOME, START, END, USAGE, RATES, STEP,
-                          SNAPSHOT, ERROR, BYE, SHUTDOWN, RESUME, BUSY))
+                          SNAPSHOT, ERROR, BYE, SHUTDOWN, RESUME, BUSY,
+                          REPLAY_DONE))
 
 _HDR = struct.Struct("!BB")           # version, kind
 _U32 = struct.Struct("!I")
@@ -196,6 +204,12 @@ def encode_shutdown():
     return _hdr(SHUTDOWN)
 
 
+def encode_replay_done():
+    """Close a resumed connection's reconcile window: everything
+    after this frame is live traffic, not journal replay."""
+    return _hdr(REPLAY_DONE)
+
+
 # decoding --------------------------------------------------------------
 def _need(payload, offset, n, what):
     if len(payload) - offset < n:
@@ -233,7 +247,7 @@ def decode_message(payload):
         raise WireError(f"unknown message kind {kind}")
     off = _HDR.size
 
-    if kind in (HELLO, BYE, SHUTDOWN):
+    if kind in (HELLO, BYE, SHUTDOWN, REPLAY_DONE):
         _exact(payload, off, "empty-body")
         return kind, None
 

@@ -81,7 +81,9 @@ class TestWireCodec:
             wire.ERROR, "boom")
         for payload, kind in ((wire.encode_hello(), wire.HELLO),
                               (wire.encode_bye(), wire.BYE),
-                              (wire.encode_shutdown(), wire.SHUTDOWN)):
+                              (wire.encode_shutdown(), wire.SHUTDOWN),
+                              (wire.encode_replay_done(),
+                               wire.REPLAY_DONE)):
             assert wire.decode_message(payload) == (kind, None)
 
     def test_version_skew_rejected(self):

@@ -9,8 +9,13 @@ old dead-client path, and a wedged reader is dropped without stalling
 anyone else's rate pushes.  Plus the satellite regressions: usage
 purged on flow end, duplicate ids inside one END batch rejected, and
 ``spawn_service`` surfacing a dead child's stderr instead of hanging.
+Review regressions ride along: a poisoned START (bad route, NaN
+weight) drops only its sender instead of killing the duty cycle,
+REPLAY_DONE closes the resume reconcile window, and close() from
+another thread waits out a caller-owned run() loop.
 """
 
+import threading
 import time
 
 import pytest
@@ -125,6 +130,23 @@ class TestReconnectReplay:
                 assert svc.stats["resumes"] >= 1
                 assert svc.n_flows == 2
 
+    def test_replay_window_closes_after_resume(self, topo):
+        """REPLAY_DONE ends the reconcile window: a genuine duplicate
+        start on a long-lived resumed connection is a protocol
+        violation again, not silently swallowed forever."""
+        from repro.service import wire
+        with FlowtuneService(topo, mode="manual", resume_grace=30.0) as svc:
+            with FlowtuneClient(svc.address, svc.token_hex) as cli:
+                cli.flowlet_start(1, topo.route(0, 4))
+                cli.step(5)
+                cli.kill()
+                cli.reconnect()
+                assert svc.stats["resumes"] == 1
+                cli._send(wire.encode_start([(1, topo.route(0, 4), 1.0)]))
+                with pytest.raises(ServiceError,
+                                   match="duplicate flowlet start"):
+                    cli.poll(10.0)
+
     def test_grace_window_expiry_ends_flows_and_purges_usage(self, topo):
         with FlowtuneService(topo, mode="auto", resume_grace=0.3) as svc:
             cli = FlowtuneClient(svc.address, svc.token_hex)
@@ -200,6 +222,89 @@ class TestBackpressure:
     def test_max_pending_rejected_in_manual_mode(self, topo):
         with pytest.raises(ValueError, match="manual mode"):
             FlowtuneService(topo, mode="manual", max_pending=10)
+
+
+# ----------------------------------------------------------------------
+# churn validation: a poisoned frame drops its sender, not the loop
+# ----------------------------------------------------------------------
+class TestChurnValidation:
+    @pytest.mark.parametrize("flow, match", [
+        pytest.param((0, [10**6], 1.0), "unknown link index",
+                     id="bad-link-index"),
+        pytest.param((0, [], 1.0), "route must have", id="empty-route"),
+        pytest.param((0, [0] * 9, 1.0), "route must have",
+                     id="too-many-hops"),
+        pytest.param((0, [0], float("nan")), "weight must be > 0",
+                     id="nan-weight"),
+    ])
+    def test_poisoned_start_drops_only_sender(self, topo, flow, match):
+        """A START that would blow up apply_churn is rejected at
+        dispatch: the sender gets an ERROR and is dropped; the duty
+        cycle — and every other client — keeps running."""
+        from repro.service import wire
+        with FlowtuneService(topo, mode="auto") as svc:
+            victim = FlowtuneClient(svc.address, svc.token_hex)
+            with FlowtuneClient(svc.address, svc.token_hex) as survivor:
+                survivor.flowlet_start(1, topo.route(0, 4))
+                survivor.wait_for_rates([1], timeout=10.0)
+                victim._send(wire.encode_start([flow]))
+                with pytest.raises(ServiceError, match=match):
+                    victim.poll(10.0)
+                # The poison never reached the allocator, and the
+                # service still pushes rates for fresh churn.
+                assert svc.stats["churn_rejected"] == 0
+                survivor.flowlet_start(2, topo.route(1, 5))
+                assert survivor.wait_for_rates([2], timeout=10.0)[2] > 0
+            victim.kill()
+
+    def test_apply_churn_exception_does_not_kill_loop(self, topo):
+        """Defense in depth: even a poisoned batch that bypasses
+        dispatch validation is rejected without taking down the
+        serving loop for every client."""
+        with FlowtuneService(topo, mode="auto") as svc:
+            with FlowtuneClient(svc.address, svc.token_hex) as cli:
+                cli.flowlet_start(1, topo.route(0, 4))
+                cli.wait_for_rates([1], timeout=10.0)
+                # Straight into the queue, skipping the wire checks.
+                svc.queue.push_start(("rogue", 99), [10**6], 1.0)
+                _wait(lambda: svc.stats["churn_rejected"] >= 1, 10.0,
+                      "the poisoned batch to be rejected")
+                cli.flowlet_start(2, topo.route(1, 5))
+                assert cli.wait_for_rates([2], timeout=10.0)[2] > 0
+                assert svc.n_flows == 2
+
+
+# ----------------------------------------------------------------------
+# lifecycle: close() vs a caller-owned run() thread
+# ----------------------------------------------------------------------
+class TestCallerOwnedRun:
+    def test_close_waits_for_run_on_foreign_thread(self, topo):
+        """close() from another thread must let run() leave the loop
+        before tearing down the selector — no exception may escape
+        the serving thread."""
+        svc = FlowtuneService(topo, mode="auto")
+        errors = []
+
+        def serve():
+            try:
+                svc.run()
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        thread = threading.Thread(target=serve, name="caller-owned-run")
+        thread.start()
+        try:
+            with FlowtuneClient(svc.address, svc.token_hex) as cli:
+                cli.flowlet_start(1, topo.route(0, 4))
+                cli.wait_for_rates([1], timeout=10.0)
+        finally:
+            svc.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert errors == []
+        # And run() after close() is a clean no-op, not a crash on
+        # the closed selector.
+        svc.run()
 
 
 # ----------------------------------------------------------------------
