@@ -54,7 +54,8 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 #: per-benchmark (n_ops, repeats) knobs for the two modes.
 _MODES = {
     "quick": {"warmup_iters": 20, "repeats": 3,
-              "churn_ops": {1_000: 60, 10_000: 30, 100_000: 10},
+              "churn_ops": {1_000: 60, 10_000: 30, 100_000: 10,
+                            1_000_000: 3},
               # Short measurements are hostage to scheduler bursts on
               # shared single-core hosts; these two lanes were the
               # noisiest, so quick mode gives them enough ops that one
@@ -79,7 +80,8 @@ _MODES = {
               "fanout_rate_per_sec": 250.0,
               "fanout_phases": 2},
     "full": {"warmup_iters": 50, "repeats": 3,
-             "churn_ops": {1_000: 300, 10_000: 150, 100_000: 40},
+             "churn_ops": {1_000: 300, 10_000: 150, 100_000: 40,
+                           1_000_000: 6},
              "multicore_ops": 40,
              "fluid_ops": 50,
              "speedup_flows": 32_768, "speedup_ops": 12,
@@ -102,6 +104,12 @@ _MODES = {
 #: calibration kernel is single-threaded, so normalization cannot make
 #: real-parallelism numbers portable between a laptop and a CI runner).
 UNGATED = frozenset({"parallel_speedup", "parallel_speedup_socket"})
+
+#: Benchmarks too heavy for smoke runs: default quick runs (and the
+#: quick baseline the smoke gate compares against) skip them; full
+#: runs always include them, and ``--only`` can still name one
+#: explicitly in either mode.
+FULL_ONLY = frozenset({"iterate_churn_1m"})
 
 
 # ----------------------------------------------------------------------
@@ -247,11 +255,17 @@ def profile_churn_iterate(n_flows, mode, seed=17, out=None):
     inside ``optimizer.iterate``/``normalize``), so the parent rows
     are context, not disjoint buckets.
     """
+    from repro.core import kernels as kernel_tiers
+
     out = out if out is not None else sys.stdout
     n_ops = max(10, min(40, _MODES[mode]["churn_ops"].get(n_flows, 20)))
     allocator, batches, churn = _churn_setup(n_flows, n_ops + 2, mode,
                                              seed)
     table = allocator.table
+    # Kernel rows carry the active tier so profiles captured under
+    # different REPRO_KERNEL_TIER settings stay distinguishable.
+    tier_tag = kernel_tiers.describe()
+    suffix = f"[{kernel_tiers.active().name}]"
 
     times, calls = {}, {}
 
@@ -268,12 +282,12 @@ def profile_churn_iterate(n_flows, mode, seed=17, out=None):
                 calls[label] = calls.get(label, 0) + 1
         setattr(obj, name, timed)
 
-    wrap(table, "_sync_csr", "csr_sync")
-    wrap(table, "price_sums", "price_sums")
-    wrap(table, "link_totals", "link_totals")
-    wrap(table, "link_totals2", "link_totals2")
-    wrap(table, "max_link_value", "max_link_value")
-    wrap(table, "apply_churn", "churn_apply")
+    wrap(table, "_sync_csr", f"csr_sync{suffix}")
+    wrap(table, "price_sums", f"price_sums{suffix}")
+    wrap(table, "link_totals", f"link_totals{suffix}")
+    wrap(table, "link_totals2", f"link_totals2{suffix}")
+    wrap(table, "max_link_value", f"max_link_value{suffix}")
+    wrap(table, "apply_churn", f"churn_apply{suffix}")
     wrap(allocator.optimizer, "iterate", "optimizer.iterate")
 
     # ``self.normalizer(...)`` resolves __call__ on the type, so wrap
@@ -297,24 +311,28 @@ def profile_churn_iterate(n_flows, mode, seed=17, out=None):
         allocator.iterate(1)
     wall = time.perf_counter() - t0
 
-    kernels = ("csr_sync", "price_sums", "link_totals", "link_totals2",
-               "max_link_value")
-    phases = ("churn_apply", "optimizer.iterate", "normalize")
+    kernel_labels = tuple(
+        f"{name}{suffix}" for name in
+        ("csr_sync", "price_sums", "link_totals", "link_totals2",
+         "max_link_value", "churn_apply"))
+    phases = ("optimizer.iterate", "normalize")
     rows = []
-    for label in kernels + phases:
+    for label in kernel_labels + phases:
         if label not in times:
             continue
         total = times[label]
         rows.append([label, calls[label], f"{1000 * total:.1f}",
                      f"{1000 * total / n_ops:.3f}",
                      f"{100 * total / wall:.1f}%"])
-    accounted = sum(times.get(label, 0.0) for label in phases)
+    accounted = sum(times.get(label, 0.0)
+                    for label in (f"churn_apply{suffix}",) + phases)
     rows.append(["other (threshold mask, ids, loop)", n_ops,
                  f"{1000 * (wall - accounted):.1f}",
                  f"{1000 * (wall - accounted) / n_ops:.3f}",
                  f"{100 * (wall - accounted) / wall:.1f}%"])
-    print(f"profile: {n_ops} ops of churn({churn}) + iterate(1) at "
-          f"{n_flows} flows, {1000 * wall / n_ops:.2f} ms/op "
+    print(f"profile[kernel tier {tier_tag}]: {n_ops} ops of "
+          f"churn({churn}) + iterate(1) at {n_flows} flows, "
+          f"{1000 * wall / n_ops:.2f} ms/op "
           f"({n_ops / wall:.1f} ops/sec)", file=out)
     print(report.format_table(
         ["kernel", "calls", "total ms", "ms/op", "share"], rows),
@@ -931,6 +949,7 @@ BENCHMARKS = {
     "iterate_churn_1k": lambda mode: bench_iterate_churn(1_000, mode),
     "iterate_churn_10k": lambda mode: bench_iterate_churn(10_000, mode),
     "iterate_churn_100k": lambda mode: bench_iterate_churn(100_000, mode),
+    "iterate_churn_1m": lambda mode: bench_iterate_churn(1_000_000, mode),
     "multicore_16proc": lambda mode: bench_multicore(mode),
     "fluid_ticks": lambda mode: bench_fluid_ticks(mode),
     "barrier_step": lambda mode: bench_barrier_step(mode),
@@ -1098,6 +1117,8 @@ def main(argv=None):
                          f"choose from {names}")
         names = ["calibration"] + [n for n in names
                                    if n in args.only and n != "calibration"]
+    elif mode == "quick":
+        names = [n for n in names if n not in FULL_ONLY]
 
     results = {}
     wall_start = time.perf_counter()

@@ -83,7 +83,10 @@ def load_series(paths, mode="quick"):
 
     Accepts both raw harness payloads (``{"results": ...}``) and the
     committed baseline layout; files of other modes or unreadable
-    files are skipped (a trend tool should chart what it can).
+    files are skipped (a trend tool should chart what it can).  Runs
+    recorded under a non-default kernel tier (``environment.
+    kernel_tier``) carry the tier in their label so artifacts from
+    different ``REPRO_KERNEL_TIER`` lanes stay distinguishable.
     """
     series = []
     for path in paths:
@@ -92,15 +95,21 @@ def load_series(paths, mode="quick"):
         except (OSError, json.JSONDecodeError):
             continue
         if "modes" in payload:  # committed-baseline layout
-            results = payload["modes"].get(mode, {}).get("results")
+            entry = payload["modes"].get(mode, {})
+            results = entry.get("results")
+            environment = entry.get("environment") or {}
         elif payload.get("mode") == mode:
             results = payload.get("results")
+            environment = payload.get("environment") or {}
         else:
-            results = None
+            results, environment = None, {}
         if results is None or "calibration" not in results:
             continue
         match = _RUN_NUMBER.search(str(path))
         label = f"run {match.group(1)}" if match else path.stem
+        tier = environment.get("kernel_tier")
+        if tier:
+            label = f"{label} [{tier}]"
         series.append((label, relative_scores(results)))
     return series
 

@@ -1,0 +1,235 @@
+"""Optional compiled kernel tier (numba ``@njit(parallel=True)``).
+
+The fully parallel scatter path: unlike the threads tier, the
+per-chunk link scatters run without the GIL, so the bincount-bound
+kernels scale with cores too.  Strictly optional — this container and
+the CI runners do not install numba — so everything is guarded:
+:func:`available` probes the import, and :func:`make_tier` compiles
+the kernels *and* self-checks them against the numpy tier on a small
+multi-chunk case before the dispatcher will hand the tier out.  Any
+failure surfaces as an exception that ``kernels.select`` turns into a
+warning plus a graceful fallback to ``threads``/``numpy``.
+
+Bitwise contract: the nopython loops replicate the canonical chunked
+reduction exactly — ``prange`` over the chunk grid, strict row/hop
+accumulation order inside a chunk, per-chunk partials folded in
+ascending chunk order sequentially — with fastmath left *off* so no
+reassociation can creep in.  Thread count cannot change a single
+float operation, same as the other tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import _base
+
+try:  # pragma: no cover - numba is absent in the dev container/CI
+    import numba
+    from numba import njit, prange
+    _HAVE_NUMBA = True
+except Exception:  # ImportError, or a broken install
+    numba = None
+    _HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # stub so the module still imports
+        def wrap(fn):
+            return fn
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+    prange = range
+
+
+def available():
+    """True when numba imports (the tier may still fail make_tier's
+    self-check, in which case select() degrades with a warning)."""
+    return _HAVE_NUMBA
+
+
+# The jitted bodies take the chunk size as an argument so the
+# self-check can force a multi-chunk reduction on a tiny case while
+# production calls pass the canonical _base.BLOCK_ROWS.
+
+@njit(cache=True, parallel=True)
+def _price_sums(padded, indices, out, n, width, block):
+    n_chunks = (n + block - 1) // block
+    for c in prange(n_chunks):
+        r0 = c * block
+        r1 = min(n, r0 + block)
+        for r in range(r0, r1):
+            base = r * width
+            acc = padded[indices[base]]
+            for hop in range(1, width):
+                acc += padded[indices[base + hop]]
+            out[r] = acc
+
+
+@njit(cache=True, parallel=True)
+def _max_link_value(padded, indices, out, n, width, block):
+    n_chunks = (n + block - 1) // block
+    for c in prange(n_chunks):
+        r0 = c * block
+        r1 = min(n, r0 + block)
+        for r in range(r0, r1):
+            base = r * width
+            acc = padded[indices[base]]
+            for hop in range(1, width):
+                value = padded[indices[base + hop]]
+                if value > acc:
+                    acc = value
+            out[r] = acc
+
+
+@njit(cache=True, parallel=True)
+def _link_totals(values, indices, out, n, width, minlength, block):
+    n_chunks = (n + block - 1) // block
+    parts = np.zeros((n_chunks, minlength))
+    for c in prange(n_chunks):
+        r0 = c * block
+        r1 = min(n, r0 + block)
+        for r in range(r0, r1):
+            value = values[r]
+            base = r * width
+            for hop in range(width):
+                parts[c, indices[base + hop]] += value
+    # Canonical fold: ascending chunk order, sequential.
+    for link in range(minlength):
+        out[link] = parts[0, link]
+    for c in range(1, n_chunks):
+        for link in range(minlength):
+            out[link] += parts[c, link]
+
+
+@njit(cache=True, parallel=True)
+def _link_totals2(a, b, indices, out_a, out_b, n, width, minlength,
+                  block):
+    n_chunks = (n + block - 1) // block
+    parts_a = np.zeros((n_chunks, minlength))
+    parts_b = np.zeros((n_chunks, minlength))
+    for c in prange(n_chunks):
+        r0 = c * block
+        r1 = min(n, r0 + block)
+        for r in range(r0, r1):
+            va = a[r]
+            vb = b[r]
+            base = r * width
+            for hop in range(width):
+                link = indices[base + hop]
+                parts_a[c, link] += va
+                parts_b[c, link] += vb
+    for link in range(minlength):
+        out_a[link] = parts_a[0, link]
+        out_b[link] = parts_b[0, link]
+    for c in range(1, n_chunks):
+        for link in range(minlength):
+            out_a[link] += parts_a[c, link]
+            out_b[link] += parts_b[c, link]
+
+
+class CompiledTier:
+    """Numba-backed kernels; memory-bound helpers delegate to numpy."""
+
+    name = "compiled"
+
+    def __init__(self):
+        self._numpy = None  # filled by make_tier (delegate + checker)
+
+    def describe(self):
+        threads = numba.get_num_threads() if _HAVE_NUMBA else 0
+        return f"compiled(numba,{threads})"
+
+    # -- per-row reductions -------------------------------------------
+    def price_sums(self, padded, indices, n, width, buf):
+        out = np.empty(n)
+        _price_sums(padded, np.ascontiguousarray(indices[: n * width]),
+                    out, n, width, _base.BLOCK_ROWS)
+        return out
+
+    def max_link_value(self, padded, indices, n, width, buf, out):
+        _max_link_value(padded,
+                        np.ascontiguousarray(indices[: n * width]),
+                        out[:n], n, width, _base.BLOCK_ROWS)
+        return out
+
+    # -- link scatters ------------------------------------------------
+    def link_totals(self, values, indices, n, width, minlength, buf):
+        out = np.empty(minlength)
+        _link_totals(np.ascontiguousarray(values),
+                     np.ascontiguousarray(indices[: n * width]),
+                     out, n, width, minlength, _base.BLOCK_ROWS)
+        return out
+
+    def link_totals2(self, a, b, indices, n, width, minlength, buf):
+        out_a = np.empty(minlength)
+        out_b = np.empty(minlength)
+        _link_totals2(np.ascontiguousarray(a), np.ascontiguousarray(b),
+                      np.ascontiguousarray(indices[: n * width]),
+                      out_a, out_b, n, width, minlength,
+                      _base.BLOCK_ROWS)
+        return out_a, out_b
+
+    # -- churn-apply helpers (memory-bound: numpy is already optimal) --
+    def min_link_value(self, padded, rows_mat, buf2d, out):
+        return self._numpy.min_link_value(padded, rows_mat, buf2d, out)
+
+    def patch_rows(self, dst_mat, src_mat, rows, width):
+        self._numpy.patch_rows(dst_mat, src_mat, rows, width)
+
+    def copy_rows(self, dst_mat, src_mat, lo, hi, width):
+        self._numpy.copy_rows(dst_mat, src_mat, lo, hi, width)
+
+
+def make_tier():
+    """Compile, self-check against the numpy tier, and return the
+    compiled tier.  Raises on any failure (numba absent, compilation
+    error, or a bitwise mismatch) — the dispatcher degrades then.
+    """
+    from ._numpy import NumpyTier
+
+    if not _HAVE_NUMBA:
+        raise RuntimeError("numba is not installed")
+    tier = CompiledTier()
+    reference = NumpyTier()
+    tier._numpy = reference
+
+    # Multi-chunk smoke case: 11 rows of width 3 with a forced block
+    # of 4 rows exercises the partial fold; compares bitwise against
+    # the numpy tier running the same grid.
+    rng = np.random.default_rng(7)
+    n, width, n_links, block = 11, 3, 5, 4
+    indices = rng.integers(0, n_links + 1, size=n * width).astype(np.int64)
+    padded = np.append(rng.random(n_links), 0.0)
+    values_a = rng.random(n)
+    values_b = rng.random(n)
+    buf = np.empty(n * width)
+    out = np.empty(n)
+
+    saved = _base.BLOCK_ROWS
+    try:
+        _base.BLOCK_ROWS = block
+        checks = [
+            (tier.price_sums(padded, indices, n, width, buf),
+             reference.price_sums(padded, indices, n, width, buf)),
+            (tier.link_totals(values_a, indices, n, width, n_links + 1,
+                              buf),
+             reference.link_totals(values_a, indices, n, width,
+                                   n_links + 1, buf)),
+            (tier.max_link_value(padded, indices, n, width, buf,
+                                 out.copy()),
+             reference.max_link_value(padded, indices, n, width, buf,
+                                      out.copy())),
+        ]
+        got2 = tier.link_totals2(values_a, values_b, indices, n, width,
+                                 n_links + 1, buf)
+        want2 = reference.link_totals2(values_a, values_b, indices, n,
+                                       width, n_links + 1, buf)
+        checks.extend(zip(got2, want2))
+    finally:
+        _base.BLOCK_ROWS = saved
+    for got, want in checks:
+        if not np.array_equal(got, want):
+            raise RuntimeError(
+                "compiled kernels failed the bitwise self-check")
+    return tier

@@ -1,0 +1,68 @@
+"""The always-available numpy kernel tier.
+
+Runs the canonical chunked reduction sequentially on the calling
+thread.  For ``n <= BLOCK_ROWS`` (one chunk) every kernel degenerates
+to the single vectorized pass the pre-tier code ran, so small-table
+results are bit-identical to history; at larger ``n`` the chunking
+itself is the canonical order all tiers share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import _base
+
+
+class NumpyTier:
+    """Sequential reference implementation of the kernel interface.
+
+    All tiers implement exactly these methods; inputs follow the
+    FlowTable CSR conventions (``indices`` flat with uniform ``width``
+    slots per row, ``buf`` a caller-owned float64 scratch with one
+    entry per slot, ``padded`` carrying the pad-link entry last).
+    """
+
+    name = "numpy"
+
+    def describe(self):
+        return "numpy"
+
+    # -- per-row reductions -------------------------------------------
+    def price_sums(self, padded, indices, n, width, buf):
+        out = np.empty(n)
+        for r0, r1 in _base.chunk_spans(n):
+            _base.price_sums_chunk(padded, indices, buf, out,
+                                   r0, r1, width)
+        return out
+
+    def max_link_value(self, padded, indices, n, width, buf, out):
+        for r0, r1 in _base.chunk_spans(n):
+            _base.max_chunk(padded, indices, buf, out, r0, r1, width)
+        return out
+
+    # -- link scatters ------------------------------------------------
+    def link_totals(self, values, indices, n, width, minlength, buf):
+        parts = [_base.totals_chunk(values, indices, buf, r0, r1,
+                                    width, minlength)
+                 for r0, r1 in _base.chunk_spans(n)]
+        return _base.reduce_parts(parts)
+
+    def link_totals2(self, a, b, indices, n, width, minlength, buf):
+        parts = [_base.totals2_chunk(a, b, indices, buf, r0, r1,
+                                     width, minlength)
+                 for r0, r1 in _base.chunk_spans(n)]
+        return (_base.reduce_parts([p[0] for p in parts]),
+                _base.reduce_parts([p[1] for p in parts]))
+
+    # -- churn-apply helpers ------------------------------------------
+    def min_link_value(self, padded, rows_mat, buf2d, out):
+        for r0, r1 in _base.chunk_spans(len(rows_mat)):
+            _base.min_rows_chunk(padded, rows_mat, buf2d, out, r0, r1)
+        return out
+
+    def patch_rows(self, dst_mat, src_mat, rows, width):
+        dst_mat[rows] = src_mat[rows, :width]
+
+    def copy_rows(self, dst_mat, src_mat, lo, hi, width):
+        dst_mat[lo:hi] = src_mat[lo:hi, :width]

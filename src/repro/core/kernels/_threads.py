@@ -1,0 +1,213 @@
+"""Threaded kernel tier: chunk-aligned fan-out over a persistent pool.
+
+Each kernel call splits the canonical chunk grid into contiguous
+per-thread runs; the calling thread takes share 0 and a persistent
+pool of daemon helpers takes the rest, synchronized by per-helper
+wake events and one fan-in condition (two context switches per call,
+no queue).  Gathers (``np.take``) and the column-fold reductions
+release the GIL and scale with cores; the per-chunk ``bincount``
+scatters hold it but overlap with other threads' gathers.
+
+Bitwise equality with the numpy tier holds by construction: every
+partial is per-*chunk* (the same grid, computed by whichever thread
+owns the chunk) and the fan-in folds partials in ascending chunk
+order on the calling thread — thread count and scheduling cannot
+reorder a single float operation.
+
+Fork safety: worker processes forked by the process-parallel backend
+inherit this module's tier instance but not its helper threads (fork
+keeps only the calling thread).  The pool re-creates itself when it
+notices the pid changed, so children just work.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from . import _base
+
+
+def _split(n_items, n_shares):
+    """Contiguous near-even split of ``range(n_items)``; no empties."""
+    n_shares = max(1, min(n_shares, n_items))
+    q, r = divmod(n_items, n_shares)
+    bounds = []
+    lo = 0
+    for s in range(n_shares):
+        hi = lo + q + (1 if s < r else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class _FanOut:
+    """Persistent fan-out/fan-in helper pool (daemon threads).
+
+    ``run(work, n_shares)`` calls ``work(share)`` for every share in
+    ``range(n_shares)``; the calling thread runs share 0, helpers the
+    rest.  Exceptions propagate to the caller after the fan-in.
+    """
+
+    def __init__(self, n_helpers):
+        self.n_helpers = n_helpers
+        self._pid = os.getpid()
+        self._work = None
+        self._n_shares = 0
+        self._errors = []
+        self._cv = threading.Condition()
+        self._pending = 0
+        self._go = [threading.Event() for _ in range(n_helpers)]
+        self._threads = [
+            threading.Thread(target=self._loop, args=(i,), daemon=True,
+                             name=f"repro-kernel-{i}")
+            for i in range(n_helpers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _loop(self, helper):
+        go = self._go[helper]
+        while True:
+            go.wait()
+            go.clear()
+            if helper + 1 < self._n_shares:
+                try:
+                    self._work(helper + 1)
+                except BaseException as exc:  # re-raised by run()
+                    self._errors.append(exc)
+            with self._cv:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._cv.notify()
+
+    def run(self, work, n_shares):
+        self._work = work
+        self._n_shares = n_shares
+        self._errors.clear()
+        with self._cv:
+            self._pending = self.n_helpers
+        for go in self._go:
+            go.set()
+        work(0)
+        with self._cv:
+            while self._pending:
+                self._cv.wait()
+        self._work = None
+        if self._errors:
+            raise self._errors[0]
+
+
+class ThreadsTier:
+    """Chunk-parallel kernels on a persistent thread pool."""
+
+    name = "threads"
+
+    def __init__(self, n_threads=None):
+        if n_threads is None:
+            env = os.environ.get("REPRO_KERNEL_THREADS", "")
+            n_threads = int(env) if env else (os.cpu_count() or 1)
+        self.n_threads = max(1, int(n_threads))
+        self._pool = None  # lazy; rebuilt after fork
+
+    def describe(self):
+        return f"threads({self.n_threads})"
+
+    def _run(self, work, n_shares):
+        """Dispatch ``work(share)`` over ``n_shares`` shares."""
+        if n_shares <= 1 or self.n_threads == 1:
+            for share in range(n_shares):
+                work(share)
+            return
+        pool = self._pool
+        if pool is None or pool._pid != os.getpid():
+            pool = self._pool = _FanOut(self.n_threads - 1)
+        pool.run(work, n_shares)
+
+    # -- per-row reductions -------------------------------------------
+    def _run_rows(self, n, row_work):
+        """Fan ``row_work(r0, r1)`` out over chunk-aligned row spans.
+
+        Per-row kernels have no cross-row state, so each thread runs
+        one merged span covering its whole chunk run.
+        """
+        if n <= 0:
+            return
+        spans = _base.chunk_spans(n)
+        shares = _split(len(spans), self.n_threads)
+
+        def work(share):
+            c0, c1 = shares[share]
+            row_work(spans[c0][0], spans[c1 - 1][1])
+
+        self._run(work, len(shares))
+
+    def price_sums(self, padded, indices, n, width, buf):
+        out = np.empty(n)
+        self._run_rows(n, lambda r0, r1: _base.price_sums_chunk(
+            padded, indices, buf, out, r0, r1, width))
+        return out
+
+    def max_link_value(self, padded, indices, n, width, buf, out):
+        self._run_rows(n, lambda r0, r1: _base.max_chunk(
+            padded, indices, buf, out, r0, r1, width))
+        return out
+
+    # -- link scatters ------------------------------------------------
+    def link_totals(self, values, indices, n, width, minlength, buf):
+        spans = _base.chunk_spans(n)
+        parts = [None] * len(spans)
+        shares = _split(len(spans), self.n_threads)
+
+        def work(share):
+            for chunk in range(*shares[share]):
+                r0, r1 = spans[chunk]
+                parts[chunk] = _base.totals_chunk(
+                    values, indices, buf, r0, r1, width, minlength)
+
+        self._run(work, len(shares))
+        return _base.reduce_parts(parts)
+
+    def link_totals2(self, a, b, indices, n, width, minlength, buf):
+        spans = _base.chunk_spans(n)
+        parts = [None] * len(spans)
+        shares = _split(len(spans), self.n_threads)
+
+        def work(share):
+            for chunk in range(*shares[share]):
+                r0, r1 = spans[chunk]
+                parts[chunk] = _base.totals2_chunk(
+                    a, b, indices, buf, r0, r1, width, minlength)
+
+        self._run(work, len(shares))
+        return (_base.reduce_parts([p[0] for p in parts]),
+                _base.reduce_parts([p[1] for p in parts]))
+
+    # -- churn-apply helpers ------------------------------------------
+    def min_link_value(self, padded, rows_mat, buf2d, out):
+        self._run_rows(len(rows_mat), lambda r0, r1: _base.min_rows_chunk(
+            padded, rows_mat, buf2d, out, r0, r1))
+        return out
+
+    def patch_rows(self, dst_mat, src_mat, rows, width):
+        if len(rows) <= _base.BLOCK_ROWS:
+            dst_mat[rows] = src_mat[rows, :width]
+            return
+        shares = _split(len(rows), self.n_threads)
+
+        def work(share):
+            lo, hi = shares[share]
+            dst_mat[rows[lo:hi]] = src_mat[rows[lo:hi], :width]
+
+        self._run(work, len(shares))
+
+    def copy_rows(self, dst_mat, src_mat, lo, hi, width):
+        spans = _split(hi - lo, self.n_threads)
+
+        def work(share):
+            s0, s1 = spans[share]
+            dst_mat[lo + s0: lo + s1] = src_mat[lo + s0: lo + s1, :width]
+
+        self._run(work, len(spans))

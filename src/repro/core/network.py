@@ -20,17 +20,23 @@ present* rather than the storage's worst case, cached against
 :attr:`version` and maintained incrementally from an internal
 dirty-row log under churn (full rebuild only on storage regrowth or
 when a wider route arrives).  One optimizer iteration is then a
-handful of vectorized numpy operations over ``n x max-hops`` elements
-(fancy-indexed gather + ``bincount`` segment sums for price sums and
-link loads, ``np.maximum.reduceat`` for per-flow maxima), with no
-Python-level per-flow work.  Flowlet churn — the common case in
-Flowtune — is O(route length) per event: adding appends a row;
-removal swaps the last row into the hole so the arrays stay dense.
+handful of vectorized operations over ``n x max-hops`` elements
+(fancy-indexed gathers, ``bincount`` segment scatters, column folds
+for per-flow sums/maxima), with no Python-level per-flow work.  The
+kernels themselves are dispatched through :mod:`repro.core.kernels`,
+which selects a numpy / threaded / compiled implementation tier at
+first use (``REPRO_KERNEL_TIER``) — all tiers share one canonical
+chunked reduction order, so the tier choice never changes a bit of
+output.  Flowlet churn — the common case in Flowtune — is O(route
+length) per event: adding appends a row; removal swaps the last row
+into the hole so the arrays stay dense.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from . import kernels
 
 __all__ = ["LinkSet", "FlowTable", "FlowColumn"]
 
@@ -167,9 +173,17 @@ class FlowTable:
         self._csr_indptr = np.zeros(1, dtype=np.int64)
         self._csr_indices = np.empty(0, dtype=np.int64)
         self._csr_mat = self._csr_indices.reshape(0, 1)
-        self._csr_rows = np.empty(0, dtype=np.int64)
         self._kernel_buf = np.empty(0)
         self._max_out = np.empty(_INITIAL_CAPACITY)
+        # Batched-start scratch (apply_churn): the left-pack mask, the
+        # bottleneck gather block and the default-weights vector are
+        # reused across batches (grown geometrically) instead of
+        # reallocated per call, and the pad()-extended capacity vector
+        # is cached until refresh_capacity invalidates it.
+        self._start_mask = np.empty((0, self.max_route_len), dtype=bool)
+        self._start_gather = np.empty((0, self.max_route_len))
+        self._start_weights = np.empty(0)
+        self._padded_capacity = None
         self._csr_nrows = 0
         self._csr_nnz = 0
         self._max_hops_seen = 0  # running max; only rebuilds can lower
@@ -236,7 +250,7 @@ class FlowTable:
         self._index_of[flow_id] = idx
         for column in self._columns:
             column._data[idx] = column.default
-        self._bottleneck._data[idx] = self.links.capacity[route].min()
+        self._bottleneck._data[idx] = self._capacity_padded()[route].min()
         if self._change_log is not None:
             self._change_log.add(idx)
         self._csr_dirty.add(idx)
@@ -355,7 +369,8 @@ class FlowTable:
         if not starts:
             return
         k = len(starts)
-        weights = np.ones(k, dtype=np.float64)
+        weights, mask, gather = self._start_scratch(k)
+        weights[:] = 1.0
         ids = []
         routes_seq = []
         for j, start in enumerate(starts):
@@ -407,12 +422,14 @@ class FlowTable:
         rows[:] = self.pad_link
         # Left-packed scatter: row-major order of the mask matches the
         # concatenation order of the batch's routes.
-        rows[self._col_offsets < lengths[:, None]] = flat
+        np.less(self._col_offsets, lengths[:, None], out=mask)
+        rows[mask] = flat
         self._weights[block] = weights
         for column in self._columns:
             column._data[block] = column.default
-        padded = self.pad(self.links.capacity, pad_value=np.inf)
-        self._bottleneck._data[block] = padded[rows].min(axis=1)
+        kernels.active().min_link_value(
+            self._capacity_padded(), rows, gather,
+            self._bottleneck._data[block])
         for j, flow_id in enumerate(ids):
             # Per-element stores: slice-assigning a list of e.g. tuple
             # ids would make numpy broadcast them as nested sequences.
@@ -430,6 +447,29 @@ class FlowTable:
         """Pre-grow storage to hold ``n_flows`` without reallocation."""
         while len(self._weights) < n_flows:
             self._grow()
+
+    def _start_scratch(self, k):
+        """Per-batch views of the reusable apply_churn scratch arrays:
+        ``(weights, mask, gather)``, each with ``k`` rows."""
+        if len(self._start_weights) < k:
+            cap = max(64, 2 * k)
+            self._start_mask = np.empty((cap, self.max_route_len),
+                                        dtype=bool)
+            self._start_gather = np.empty((cap, self.max_route_len))
+            self._start_weights = np.empty(cap)
+        return (self._start_weights[:k], self._start_mask[:k],
+                self._start_gather[:k])
+
+    def _capacity_padded(self):
+        """The pad()-extended capacity vector (``+inf`` pad), cached
+        between :meth:`refresh_capacity` calls — capacity edits must go
+        through that method (the bottleneck column contract already
+        requires it)."""
+        padded = self._padded_capacity
+        if padded is None:
+            padded = self.pad(self.links.capacity, pad_value=np.inf)
+            self._padded_capacity = padded
+        return padded
 
     # ------------------------------------------------------------------
     # dirty-row tracking (delta-encoded churn publication)
@@ -480,6 +520,7 @@ class FlowTable:
         invalidate too.
         """
         self._capacity_dirty = True
+        self._padded_capacity = None
         if self._change_log is not None:
             self._change_all = True  # bottleneck changes for every flow
         # Routes are untouched, so the CSR route index stays valid; the
@@ -564,11 +605,13 @@ class FlowTable:
     def _route_index(self):
         """The version-cached CSR view of the padded route matrix.
 
-        Returns ``(indptr, indices, rows, nnz)`` where flow ``f``'s
+        Returns ``(indptr, indices, nnz)`` where flow ``f``'s
         route occupies ``indices[indptr[f]:indptr[f+1]]`` (hop order
-        preserved) and ``rows[e]`` is the flow row owning CSR slot
-        ``e``.  Slots are uniform at the running-max hop count, so a
-        row shorter than the widest carries trailing pad-link entries
+        preserved).  Slots are uniform at the running-max hop count
+        (:attr:`_csr_width`), so slot ``e`` belongs to flow row
+        ``e // width`` — the kernels exploit that directly instead of
+        carrying a per-slot row-id array.  A row shorter than the
+        widest carries trailing pad-link entries
         — bitwise-neutral in every kernel (+0.0 for sums, the dropped
         pad bin for scatters, ``-inf`` for maxima) — and no churn
         event ever shifts another row's slots.  The backing arrays
@@ -582,8 +625,7 @@ class FlowTable:
         """
         if self._csr_version != self.version:
             self._sync_csr()
-        return (self._csr_indptr, self._csr_indices, self._csr_rows,
-                self._csr_nnz)
+        return (self._csr_indptr, self._csr_indices, self._csr_nnz)
 
     def _sync_csr(self):
         n = self._n
@@ -592,14 +634,17 @@ class FlowTable:
         else:
             width = self._csr_width
             tail = min(n, self._csr_nrows)
+            kern = kernels.active()
             dirty = self._csr_dirty
             if dirty:
                 rows = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
                 rows = rows[rows < tail]
                 if len(rows):
-                    self._csr_mat[rows] = self._routes[rows, :width]
+                    kern.patch_rows(self._csr_mat, self._routes, rows,
+                                    width)
             if tail < n:
-                self._csr_mat[tail:n] = self._routes[tail:n, :width]
+                kern.copy_rows(self._csr_mat, self._routes, tail, n,
+                               width)
             self._csr_nnz = n * width
             self._csr_nrows = n
         self._csr_dirty.clear()
@@ -620,12 +665,12 @@ class FlowTable:
         if self._csr_width != width or len(self._csr_indices) != cap * width:
             self._csr_width = width
             self._csr_indptr = np.arange(cap + 1, dtype=np.int64) * width
-            self._csr_rows = np.repeat(np.arange(cap, dtype=np.int64),
-                                       width)
             self._csr_indices = np.empty(cap * width, dtype=np.int64)
             self._csr_mat = self._csr_indices.reshape(cap, width)
             self._kernel_buf = np.empty(cap * width)
-        self._csr_mat[:n] = routes[:n, :width]
+        if n:
+            kernels.active().copy_rows(self._csr_mat, routes, 0, n,
+                                       width)
         self._csr_nnz = n * width
         self._csr_nrows = n
         self._max_hops_seen = width
@@ -645,40 +690,41 @@ class FlowTable:
         """Per-flow sums of link prices along each route (rho_s).
 
         ``prices`` has one entry per real link; slack slots gather the
-        pad link's pinned 0.0.  The per-route sum runs as a
-        ``bincount`` over the CSR row column — strictly sequential
-        accumulation in hop order (trailing zeros are bitwise no-ops),
-        unlike ``np.add.reduceat`` whose in-segment order varies with
-        segment length — so the result is bit-for-bit the
-        left-to-right sum of each route, independent of slot width.
+        pad link's pinned 0.0.  The per-route fold is strictly
+        left-to-right in hop order (trailing zeros are bitwise no-ops)
+        in every kernel tier, so the result is bit-for-bit the
+        sequential sum of each route, independent of slot width, tier
+        and thread count.
         """
         n = self._n
         if n == 0:
             return np.zeros(0, dtype=np.float64)
-        _, indices, rows, nnz = self._route_index()
-        buf = self._kernel_buf[:nnz]
-        np.take(self.pad(prices), indices[:nnz], out=buf)
-        return np.bincount(rows[:nnz], weights=buf, minlength=n)
+        _, indices, _ = self._route_index()
+        return kernels.active().price_sums(
+            self.pad(prices), indices, n, self._csr_width,
+            self._kernel_buf)
 
     def link_totals(self, per_flow):
         """Scatter per-flow values onto links: ``out[l] = sum_{s in S(l)} v_s``.
 
         This computes aggregate link load when given rates, and the
-        Hessian diagonal when given rate derivatives.  The scatter is
-        one ``bincount`` over the CSR link column (slack lands in the
-        dropped pad bin); per-link accumulation order (flow-position
-        order) is identical to the padded-matrix scatter, so the
-        floats match it bitwise.
+        Hessian diagonal when given rate derivatives.  The scatter
+        runs over the CSR link column (slack lands in the dropped pad
+        bin) via the canonical chunked reduction shared by every
+        kernel tier: per-link accumulation order is flow-position
+        order within each fixed-size chunk, partials folded in chunk
+        order, so the floats are identical across tiers and thread
+        counts (and, below one chunk, to the historical single-pass
+        scatter).
         """
         n = self._n
         if n == 0:
             return np.zeros(self.links.n_links, dtype=np.float64)
-        _, indices, rows, nnz = self._route_index()
-        buf = self._kernel_buf[:nnz]
-        np.take(np.asarray(per_flow, dtype=np.float64), rows[:nnz],
-                out=buf)
-        return np.bincount(indices[:nnz], weights=buf,
-                           minlength=self.links.n_links + 1)[:-1]
+        _, indices, _ = self._route_index()
+        totals = kernels.active().link_totals(
+            np.asarray(per_flow, dtype=np.float64), indices, n,
+            self._csr_width, self.links.n_links + 1, self._kernel_buf)
+        return totals[:-1]
 
     def link_totals2(self, a, b):
         """Fused pair of :meth:`link_totals` calls over one CSR pass.
@@ -696,15 +742,11 @@ class FlowTable:
         if n == 0:
             zeros = np.zeros(self.links.n_links, dtype=np.float64)
             return zeros, zeros.copy()
-        _, indices, rows, nnz = self._route_index()
-        idx = indices[:nnz]
-        pos = rows[:nnz]
-        minlength = self.links.n_links + 1
-        buf = self._kernel_buf[:nnz]
-        np.take(np.asarray(a, dtype=np.float64), pos, out=buf)
-        totals_a = np.bincount(idx, weights=buf, minlength=minlength)
-        np.take(np.asarray(b, dtype=np.float64), pos, out=buf)
-        totals_b = np.bincount(idx, weights=buf, minlength=minlength)
+        _, indices, _ = self._route_index()
+        totals_a, totals_b = kernels.active().link_totals2(
+            np.asarray(a, dtype=np.float64),
+            np.asarray(b, dtype=np.float64), indices, n,
+            self._csr_width, self.links.n_links + 1, self._kernel_buf)
         return totals_a[:-1], totals_b[:-1]
 
     def max_link_value(self, per_link):
@@ -724,18 +766,12 @@ class FlowTable:
         n = self._n
         if n == 0:
             return np.zeros(0, dtype=np.float64)
-        _, indices, _, nnz = self._route_index()
-        buf = self._kernel_buf[:nnz]
-        np.take(self.pad(per_link, pad_value=-np.inf), indices[:nnz],
-                out=buf)
+        _, indices, _ = self._route_index()
         if len(self._max_out) < n:
             self._max_out = np.empty(len(self._weights))
-        out = self._max_out[:n]
-        hops = buf.reshape(n, self._csr_width)
-        out[:] = hops[:, 0]
-        for hop in range(1, self._csr_width):
-            np.maximum(out, hops[:, hop], out=out)
-        return out
+        return kernels.active().max_link_value(
+            self.pad(per_link, pad_value=-np.inf), indices, n,
+            self._csr_width, self._kernel_buf, self._max_out[:n])
 
     def flows_on_link(self, link):
         """Positional indices of flows traversing ``link`` (test aid)."""
@@ -755,9 +791,10 @@ class FlowTable:
         n = self._n
         if self._capacity_dirty:
             if n:
-                padded = self.pad(self.links.capacity, pad_value=np.inf)
-                self._bottleneck._data[:n] = \
-                    padded[self._routes[:n]].min(axis=1)
+                kernels.active().min_link_value(
+                    self._capacity_padded(), self._routes[:n],
+                    np.empty((n, self.max_route_len)),
+                    self._bottleneck._data[:n])
             self._capacity_dirty = False
         view = self._bottleneck._data[: self._n]
         view.flags.writeable = False

@@ -48,6 +48,7 @@ import traceback
 
 import numpy as np
 
+from ..core import kernels
 from ..core.network import FlowTable
 from .engine import ParallelBackend, _Processor, ned_price_update
 from .cost_model import cpu_of
@@ -69,7 +70,7 @@ class CellPlan:
     """
 
     __slots__ = ("row", "routes", "weights", "bottleneck", "floor",
-                 "floor_version", "csr_indices", "csr_rows",
+                 "floor_version", "csr_indices", "csr_width",
                  "csr_version", "_keepalive")
 
     def __init__(self, row, routes=None, weights=None, bottleneck=None):
@@ -80,7 +81,7 @@ class CellPlan:
         self.floor = None
         self.floor_version = None
         self.csr_indices = None
-        self.csr_rows = None
+        self.csr_width = None
         self.csr_version = None
         self._keepalive = None
 
@@ -101,15 +102,18 @@ def _compute_cell_rates(plan, fabric, consts, scratch):
 
     Mirrors the simulated engine's use of ``FlowTable.price_sums`` /
     ``link_totals2`` — the same version-cached uniform-slot CSR view
-    (slack slots carry the pad link, bitwise-neutral in every kernel),
-    the same ``bincount`` row-segment sum for rho and link scatter for
-    the G/H partials, gathering through the same persistent scratch —
-    so the floats come out identical *and* the steady-state allocation
+    (slack slots carry the pad link, bitwise-neutral in every kernel)
+    dispatched through the same :mod:`repro.core.kernels` tier the
+    parent selected (``_kernel_tier`` ships in the worker consts), so
+    the floats come out identical *and* the steady-state allocation
     profile matches the single-core kernels (only the small reduction
-    outputs are allocated per iteration).  The cell's CSR cache is
-    rebuilt whole whenever the published version moves (cells are
-    1/n_procs of the population; the parent-side tables do the finer
-    incremental maintenance).
+    outputs are allocated per iteration).  All tiers share one
+    canonical chunked reduction order, so even a worker that had to
+    degrade (say a remote socket host without numba) stays bitwise
+    aligned with the parent.  The cell's CSR cache is rebuilt whole
+    whenever the published version moves (cells are 1/n_procs of the
+    population; the parent-side tables do the finer incremental
+    maintenance).
     """
     n = int(fabric.counts[plan.row])
     load_row = fabric.load[plan.row]
@@ -129,31 +133,28 @@ def _compute_cell_rates(plan, fabric, consts, scratch):
             width -= 1
         plan.csr_indices = np.ascontiguousarray(
             routes[:, :width]).reshape(-1)
-        plan.csr_rows = np.repeat(np.arange(n, dtype=np.int64), width)
+        plan.csr_width = width
         plan.csr_version = version
     indices = plan.csr_indices
-    rows = plan.csr_rows
+    width = plan.csr_width
     nnz = len(indices)
     gather = consts["gather"]
     if len(gather) < nnz:
         gather = consts["gather"] = np.empty(max(nnz, 2 * len(gather)))
-    buf = gather[:nnz]
+    kern = kernels.active()
     scratch[:n_links] = fabric.prices[plan.row]
     scratch[n_links] = 0.0  # pad link: price zero
-    np.take(scratch, indices, out=buf)
-    rho = np.bincount(rows, weights=buf, minlength=n)
+    rho = kern.price_sums(scratch, indices, n, width, gather)
     if plan.floor_version != version:
         plan.floor = utility.inverse_rate(plan.bottleneck[:n], weights)
         plan.floor_version = version
     rho = np.maximum(rho, plan.floor)
     rates = utility.rate(rho, weights)
     derivative = utility.rate_derivative(rho, weights)
-    np.take(rates, rows, out=buf)
-    load_row[:] = np.bincount(indices, weights=buf,
-                              minlength=n_links + 1)[:-1]
-    np.take(derivative, rows, out=buf)
-    hessian_row[:] = np.bincount(indices, weights=buf,
-                                 minlength=n_links + 1)[:-1]
+    totals_load, totals_hessian = kern.link_totals2(
+        rates, derivative, indices, n, width, n_links + 1, gather)
+    load_row[:] = totals_load[:-1]
+    hessian_row[:] = totals_hessian[:-1]
 
 
 def _one_iteration(plans, fabric, consts):
@@ -200,6 +201,13 @@ def _one_iteration(plans, fabric, consts):
 
 def worker_loop(endpoint, plans, consts):
     """Command loop of one worker process (any fabric)."""
+    # Adopt the parent's kernel tier (fork workers inherit the module
+    # state anyway; socket workers may boot on another host with a
+    # different environment).  Degradation is safe: tiers are bitwise
+    # identical, so a worker falling back stays aligned.
+    tier = consts.get("_kernel_tier")
+    if tier is not None:
+        kernels.select(tier)
     consts["scratch"] = np.empty(consts["n_links"] + 1, dtype=np.float64)
     consts["gather"] = np.empty(0, dtype=np.float64)
     try:
@@ -393,6 +401,10 @@ class ProcessBackend(ParallelBackend):
                 "agg_plan": agg_plans[w],
                 "dist_plan": dist_plans[w],
                 "price_plan": price_plans[w],
+                # Workers run the same kernel tier as the parent so
+                # simulated/shm/socket stay aligned (all tiers are
+                # bitwise-equal anyway; this keeps perf symmetric).
+                "_kernel_tier": kernels.active().name,
             }
             if state is None:
                 # Socket workers bootstrap over the wire: ship the

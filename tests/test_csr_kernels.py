@@ -8,7 +8,9 @@ rewrite safe:
 * every kernel matches a straight padded-matrix reference **bitwise**
   (the reference reduces each row left-to-right, the order the CSR
   kernels guarantee; pads contribute +0.0 / the dropped pad bin /
-  ``-inf``, all bitwise no-ops);
+  ``-inf``, all bitwise no-ops) — and it matches under **every
+  available kernel tier** (``numpy``/``threads``/``compiled``), so
+  the tiers are bitwise-interchangeable by transitivity;
 * the index is maintained incrementally under arbitrary churn —
   batched adds/removes, swap-remove holes, hop-count mixing, storage
   regrowth, capacity refresh — and can never be observed stale,
@@ -24,6 +26,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import (FlowTable, FlowtuneAllocator, LinkSet,
                         NedOptimizer)
+from repro.core import kernels
 from repro.core.normalization import FNormalizer, f_norm
 from repro.topology import TwoTierClos
 
@@ -61,23 +64,37 @@ def ref_max_link_value(table, per_link):
     return out
 
 
+def available_tier_names():
+    return tuple(name for name, ok
+                 in sorted(kernels.available_tiers().items()) if ok)
+
+
 def assert_kernels_match(table, rng):
-    """All four kernels bitwise-equal their padded references."""
+    """All four kernels bitwise-equal their padded references, under
+    every available tier — numpy == threads == compiled bitwise, by
+    transitivity through the shared reference."""
     prices = rng.random(table.links.n_links)
     per_flow = rng.random(table.n_flows)
     per_link = rng.random(table.links.n_links)
-    np.testing.assert_array_equal(table.price_sums(prices),
-                                  ref_price_sums(table, prices))
-    np.testing.assert_array_equal(table.link_totals(per_flow),
-                                  ref_link_totals(table, per_flow))
-    np.testing.assert_array_equal(
-        table.max_link_value(per_link).copy(),
-        ref_max_link_value(table, per_link))
-    totals_a, totals_b = table.link_totals2(per_flow, 2.0 * per_flow)
-    np.testing.assert_array_equal(totals_a,
-                                  ref_link_totals(table, per_flow))
-    np.testing.assert_array_equal(totals_b,
-                                  ref_link_totals(table, 2.0 * per_flow))
+    want_prices = ref_price_sums(table, prices)
+    want_totals = ref_link_totals(table, per_flow)
+    want_totals_b = ref_link_totals(table, 2.0 * per_flow)
+    want_max = ref_max_link_value(table, per_link)
+    for tier in available_tier_names():
+        with kernels.use(tier):
+            np.testing.assert_array_equal(
+                table.price_sums(prices), want_prices, err_msg=tier)
+            np.testing.assert_array_equal(
+                table.link_totals(per_flow), want_totals, err_msg=tier)
+            np.testing.assert_array_equal(
+                table.max_link_value(per_link).copy(), want_max,
+                err_msg=tier)
+            totals_a, totals_b = table.link_totals2(per_flow,
+                                                    2.0 * per_flow)
+            np.testing.assert_array_equal(totals_a, want_totals,
+                                          err_msg=tier)
+            np.testing.assert_array_equal(totals_b, want_totals_b,
+                                          err_msg=tier)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,289 @@
+"""Kernel-tier dispatch: selection, fallback, and bitwise equality.
+
+`repro.core.kernels` puts the CSR scatter kernels behind pluggable
+tiers (numpy / threads / optional numba).  This suite pins the
+contracts the dispatcher makes:
+
+* ``REPRO_KERNEL_TIER`` is honored (and unknown values degrade to
+  ``auto`` with a warning, never an exception);
+* an explicit ``compiled`` request without a working numba warns and
+  falls back instead of crashing;
+* every tier produces **bitwise identical** results across a
+  multi-chunk reduction (the canonical chunk grid is the same for all
+  tiers and all thread counts — ``BLOCK_ROWS`` is monkeypatched small
+  here so a few hundred rows exercise many chunks);
+* the threads tier's persistent pool survives ``fork`` (workers
+  rebuild it on first use) and propagates helper exceptions;
+* worker processes inherit the parent's tier through the shipped
+  consts and stay numerically aligned with the simulated engine.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.kernels import NumpyTier, ThreadsTier
+from repro.core.kernels import _base
+from repro.core.kernels._threads import _FanOut, _split
+
+
+@pytest.fixture(autouse=True)
+def restore_active_tier():
+    """Leave the process-global active tier the way we found it."""
+    saved = kernels._active
+    yield
+    kernels._active = saved
+
+
+def tier_cases():
+    """Fresh instances of every tier available on this host, with the
+    threads tier forced to several workers even on 1-CPU machines."""
+    cases = [NumpyTier(), ThreadsTier(n_threads=4)]
+    if kernels.available_tiers()["compiled"]:
+        from repro.core.kernels import _compiled
+        cases.append(_compiled.make_tier())
+    return cases
+
+
+# ----------------------------------------------------------------------
+# selection / environment / fallback
+# ----------------------------------------------------------------------
+class TestTierSelection:
+    def test_env_var_is_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_TIER", "numpy")
+        assert kernels.select().name == "numpy"
+        monkeypatch.setenv("REPRO_KERNEL_TIER", "threads")
+        assert kernels.select().name == "threads"
+
+    def test_auto_resolves_to_an_available_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_TIER", "auto")
+        tier = kernels.select()
+        assert kernels.available_tiers()[tier.name]
+
+    def test_unknown_name_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_TIER", "gpu9000")
+        with pytest.warns(RuntimeWarning, match="unknown"):
+            tier = kernels.select()
+        assert tier.name in ("numpy", "threads", "compiled")
+
+    def test_explicit_compiled_degrades_gracefully(self):
+        if kernels.available_tiers()["compiled"]:
+            assert kernels.select("compiled").name == "compiled"
+        else:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                tier = kernels.select("compiled")
+            assert tier.name in ("threads", "numpy")
+
+    def test_use_restores_previous_tier(self):
+        before = kernels.active()
+        with kernels.use("numpy") as tier:
+            assert tier.name == "numpy"
+            assert kernels.active() is tier
+        assert kernels.active() is before
+
+    def test_describe_names_the_tier(self):
+        with kernels.use("threads"):
+            assert kernels.describe().startswith("threads(")
+        with kernels.use("numpy"):
+            assert kernels.describe() == "numpy"
+
+    def test_instances_are_cached(self):
+        assert kernels.select("threads") is kernels.select("threads")
+
+
+# ----------------------------------------------------------------------
+# the canonical chunk grid
+# ----------------------------------------------------------------------
+class TestChunkSpans:
+    def test_covers_every_row_once(self, monkeypatch):
+        monkeypatch.setattr(_base, "BLOCK_ROWS", 7)
+        spans = kernels.chunk_spans(40)
+        assert spans[0][0] == 0 and spans[-1][1] == 40
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 == b0 and a0 < a1
+        assert all(r0 % 7 == 0 for r0, _ in spans)
+
+    def test_small_n_is_one_span(self):
+        assert kernels.chunk_spans(100) == [(0, 100)]
+
+    def test_empty(self):
+        assert kernels.chunk_spans(0) == []
+
+
+# ----------------------------------------------------------------------
+# multi-chunk bitwise equality across tiers
+# ----------------------------------------------------------------------
+class TestMultiChunkBitwise:
+    """With BLOCK_ROWS shrunk, a few hundred rows span many chunks —
+    the regime where a naive per-thread reduction would diverge."""
+
+    @pytest.fixture(autouse=True)
+    def small_blocks(self, monkeypatch):
+        monkeypatch.setattr(_base, "BLOCK_ROWS", 7)
+
+    def case(self, seed=3, n=500, width=3, n_links=64):
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(0, n_links + 1,
+                               size=n * width).astype(np.int64)
+        padded = np.append(rng.random(n_links), 0.0)
+        values_a = rng.random(n)
+        values_b = rng.random(n)
+        buf = np.empty(n * width)
+        return indices, padded, values_a, values_b, buf, n, width, n_links
+
+    def test_all_kernels_match_numpy_bitwise(self):
+        indices, padded, va, vb, buf, n, width, n_links = self.case()
+        reference = NumpyTier()
+        want = {
+            "price_sums": reference.price_sums(padded, indices, n,
+                                               width, buf),
+            "link_totals": reference.link_totals(va, indices, n, width,
+                                                 n_links + 1, buf),
+            "max": reference.max_link_value(padded, indices, n, width,
+                                            buf, np.empty(n)).copy(),
+        }
+        want2 = reference.link_totals2(va, vb, indices, n, width,
+                                       n_links + 1, buf)
+        for tier in tier_cases():
+            label = tier.name
+            np.testing.assert_array_equal(
+                tier.price_sums(padded, indices, n, width, buf),
+                want["price_sums"], err_msg=label)
+            np.testing.assert_array_equal(
+                tier.link_totals(va, indices, n, width, n_links + 1,
+                                 buf),
+                want["link_totals"], err_msg=label)
+            np.testing.assert_array_equal(
+                tier.max_link_value(padded, indices, n, width, buf,
+                                    np.empty(n)),
+                want["max"], err_msg=label)
+            got2 = tier.link_totals2(va, vb, indices, n, width,
+                                     n_links + 1, buf)
+            np.testing.assert_array_equal(got2[0], want2[0],
+                                          err_msg=label)
+            np.testing.assert_array_equal(got2[1], want2[1],
+                                          err_msg=label)
+
+    def test_min_link_value_and_row_copies_match(self):
+        rng = np.random.default_rng(9)
+        n, width, n_links = 200, 4, 32
+        rows = rng.integers(0, n_links, size=(n, width))
+        padded = np.append(rng.random(n_links), np.inf)
+        reference = NumpyTier()
+        want = reference.min_link_value(padded, rows,
+                                        np.empty((n, width)),
+                                        np.empty(n)).copy()
+        src = rng.random((n, width + 2))
+        patch = rng.choice(n, size=n // 3, replace=False)
+        for tier in tier_cases():
+            got = tier.min_link_value(padded, rows, np.empty((n, width)),
+                                      np.empty(n))
+            np.testing.assert_array_equal(got, want, err_msg=tier.name)
+            dst = np.zeros((n, width))
+            tier.copy_rows(dst, src, 0, n, width)
+            np.testing.assert_array_equal(dst, src[:, :width],
+                                          err_msg=tier.name)
+            dst2 = np.zeros((n, width))
+            tier.patch_rows(dst2, src, patch, width)
+            np.testing.assert_array_equal(dst2[patch], src[patch, :width],
+                                          err_msg=tier.name)
+
+    def test_thread_count_cannot_change_a_bit(self):
+        indices, padded, va, vb, buf, n, width, n_links = self.case(seed=5)
+        results = []
+        for n_threads in (1, 2, 3, 8):
+            tier = ThreadsTier(n_threads=n_threads)
+            results.append((
+                tier.price_sums(padded, indices, n, width, buf).copy(),
+                tier.link_totals(va, indices, n, width, n_links + 1,
+                                 buf).copy()))
+        for got_prices, got_totals in results[1:]:
+            np.testing.assert_array_equal(got_prices, results[0][0])
+            np.testing.assert_array_equal(got_totals, results[0][1])
+
+
+# ----------------------------------------------------------------------
+# the threads tier's pool mechanics
+# ----------------------------------------------------------------------
+class TestThreadsPool:
+    def test_split_is_contiguous_and_complete(self):
+        for n, shares in [(10, 3), (3, 10), (1, 1), (16, 4)]:
+            bounds = _split(n, shares)
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+            assert all(lo < hi for lo, hi in bounds)
+
+    def test_helper_exceptions_propagate(self):
+        pool = _FanOut(n_helpers=2)
+
+        def work(share):
+            if share == 1:
+                raise ValueError("helper boom")
+
+        with pytest.raises(ValueError, match="helper boom"):
+            pool.run(work, n_shares=3)
+        # the pool stays usable after an error
+        seen = []
+        pool.run(seen.append, n_shares=3)
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_pool_is_rebuilt_after_fork(self, monkeypatch):
+        monkeypatch.setattr(_base, "BLOCK_ROWS", 7)
+        tier = ThreadsTier(n_threads=3)
+        rng = np.random.default_rng(1)
+        n, width = 100, 2
+        indices = rng.integers(0, 9, size=n * width).astype(np.int64)
+        padded = np.append(rng.random(8), 0.0)
+        buf = np.empty(n * width)
+        tier.price_sums(padded, indices, n, width, buf)
+        pool = tier._pool
+        assert pool is not None
+        pool._pid = os.getpid() - 1  # pretend we are a fork child
+        tier.price_sums(padded, indices, n, width, buf)
+        assert tier._pool is not pool
+
+    def test_single_thread_runs_inline(self):
+        tier = ThreadsTier(n_threads=1)
+        rng = np.random.default_rng(2)
+        n, width = 50, 2
+        indices = rng.integers(0, 5, size=n * width).astype(np.int64)
+        padded = np.append(rng.random(4), 0.0)
+        tier.price_sums(padded, indices, n, width, np.empty(n * width))
+        assert tier._pool is None
+
+
+# ----------------------------------------------------------------------
+# worker processes inherit the parent's tier
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend needs the fork start method")
+class TestWorkerTierInheritance:
+    def test_process_backend_matches_simulated_under_threads_tier(self):
+        from repro.parallel import MulticoreNedEngine
+        from repro.topology import TwoTierClos
+
+        topology = TwoTierClos(n_racks=4, hosts_per_rack=4, n_spines=2)
+        rng = np.random.default_rng(0)
+        starts = []
+        for i in range(60):
+            src = int(rng.integers(topology.n_hosts))
+            dst = int(rng.integers(topology.n_hosts - 1))
+            dst += dst >= src
+            starts.append((i, src, dst))
+
+        simulated = MulticoreNedEngine(topology, 2)
+        simulated.apply_churn(starts=starts)
+        simulated.iterate(10)
+        with kernels.use("threads"):
+            with MulticoreNedEngine(topology, 2, backend="process",
+                                    n_workers=2) as engine:
+                engine.apply_churn(starts=starts)
+                engine.iterate(10)
+                rates = engine.rates()
+                reference = simulated.rates()
+        assert rates.keys() == reference.keys()
+        for flow_id, rate in rates.items():
+            assert rate == pytest.approx(reference[flow_id], rel=1e-9)
