@@ -176,7 +176,8 @@ def fetch_artifacts(dest: Path, repo=None, limit=20):
             check=True, capture_output=True, text=True)
     except (OSError, subprocess.CalledProcessError) as exc:
         raise SystemExit(f"gh api failed ({exc}); download artifacts "
-                         "manually and pass the directory instead")
+                         "manually and pass the directory "
+                         "instead") from exc
     artifacts = [a for a in json.loads(listing.stdout)["artifacts"]
                  if a["name"].startswith("bench-hotpath-")
                  and not a["expired"]]

@@ -11,6 +11,7 @@ control plane.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 from enum import Enum
 
@@ -76,7 +77,7 @@ class ControlMessage:
     weight: float = 1.0
 
     @property
-    def payload_bytes(self):
+    def payload_bytes(self) -> int:
         return PAYLOAD_BYTES[self.kind]
 
 
@@ -87,7 +88,7 @@ def wire_bytes(payload_bytes: int) -> int:
     return frame + PREAMBLE_IFG_BYTES
 
 
-def batched_wire_bytes(payload_list) -> int:
+def batched_wire_bytes(payload_list: Iterable[int]) -> int:
     """Bytes for a batch of payloads sharing one TCP segment.
 
     The allocator batches all rate updates destined to one endpoint in

@@ -16,9 +16,11 @@ from __future__ import annotations
 import inspect
 import threading
 import warnings
-from typing import NamedTuple
+from collections.abc import Hashable, Iterable
+from typing import Any, NamedTuple
 
 import numpy as np
+import numpy.typing as npt
 
 from .ned import NedOptimizer
 from .network import FlowTable, LinkSet
@@ -62,7 +64,10 @@ class AllocationResult:
     __slots__ = ("_ids", "rate_vector", "update_indices",
                  "_updates", "_rates_dict", "_flow_ids")
 
-    def __init__(self, flow_ids, rate_vector, update_indices=_NO_UPDATES):
+    def __init__(self, flow_ids: npt.NDArray[Any] | list[Any],
+                 rate_vector: npt.NDArray[np.float64],
+                 update_indices: npt.NDArray[np.intp] = _NO_UPDATES,
+                 ) -> None:
         self._ids = flow_ids  # list or positionally-aligned id array
         self.rate_vector = rate_vector  # numpy array aligned with ids
         self.update_indices = update_indices
@@ -71,7 +76,7 @@ class AllocationResult:
         self._flow_ids = None
 
     @property
-    def flow_ids(self):
+    def flow_ids(self) -> list[Any]:
         if self._flow_ids is None:
             ids = self._ids
             self._flow_ids = (ids.tolist() if isinstance(ids, np.ndarray)
@@ -79,7 +84,7 @@ class AllocationResult:
         return self._flow_ids
 
     @property
-    def updates(self):
+    def updates(self) -> list[RateUpdate]:
         if self._updates is None:
             ids = self._ids
             sent = np.asarray(self.rate_vector, dtype=np.float64)[
@@ -89,7 +94,7 @@ class AllocationResult:
         return self._updates
 
     @property
-    def rates(self):
+    def rates(self) -> dict[Any, float]:
         if self._rates_dict is None:
             self._rates_dict = dict(zip(
                 self._ids,
@@ -125,9 +130,11 @@ class FlowtuneAllocator:
     """
 
     def __init__(self, links: LinkSet, utility: Utility | None = None,
-                 optimizer_cls=NedOptimizer, normalizer: Normalizer | None = None,
+                 optimizer_cls: type = NedOptimizer,
+                 normalizer: Normalizer | None = None,
                  update_threshold: float = 0.01, gamma: float = 1.0,
-                 max_route_len: int = 8, optimizer_kwargs: dict | None = None):
+                 max_route_len: int = 8,
+                 optimizer_kwargs: dict | None = None) -> None:
         if not 0 <= update_threshold < 1:
             raise ValueError("update_threshold must be in [0, 1)")
         self.full_links = links
@@ -177,15 +184,17 @@ class FlowtuneAllocator:
     # ------------------------------------------------------------------
     # endpoint notifications (fig. 1 left-to-right arrows)
     # ------------------------------------------------------------------
-    def flowlet_start(self, flow_id, route, weight: float = 1.0):
+    def flowlet_start(self, flow_id: Hashable, route: npt.ArrayLike,
+                      weight: float = 1.0) -> None:
         """An endpoint reports a new backlogged flowlet on ``route``."""
         self.table.add_flow(flow_id, route, weight=weight)
 
-    def flowlet_end(self, flow_id):
+    def flowlet_end(self, flow_id: Hashable) -> None:
         """An endpoint reports its queue for ``flow_id`` drained."""
         self.table.remove_flow(flow_id)
 
-    def apply_churn(self, starts=(), ends=()):
+    def apply_churn(self, starts: Iterable[tuple[Any, ...]] = (),
+                    ends: Iterable[Hashable] = ()) -> None:
         """Apply a batch of flowlet events in one call.
 
         ``ends`` (flow ids) are removed first, then ``starts``
@@ -198,7 +207,7 @@ class FlowtuneAllocator:
         self.table.apply_churn(starts=starts, ends=ends)
 
     @property
-    def n_flows(self):
+    def n_flows(self) -> int:
         return self.table.n_flows
 
     def __contains__(self, flow_id):
@@ -246,7 +255,7 @@ class FlowtuneAllocator:
         return AllocationResult(flow_ids=flow_ids, rate_vector=normalized,
                                 update_indices=update_idx)
 
-    def current_rates(self):
+    def current_rates(self) -> dict[Any, float]:
         """Latest *notified* rate per flow (what endpoints believe)."""
         last = self._last_sent.data
         notified = ~np.isnan(last)
@@ -255,7 +264,7 @@ class FlowtuneAllocator:
                 zip(np.nonzero(notified)[0].tolist(),
                     last[notified].tolist())}
 
-    def raw_rates(self):
+    def raw_rates(self) -> dict[Any, float]:
         """Un-normalized optimizer rates for the active flows."""
         raw = self.optimizer.rate_update()
         return dict(zip(self.table.flow_ids(), (float(r) for r in raw)))
@@ -300,7 +309,8 @@ class ChurnQueue:
         self._lock = threading.Lock()
         self._pending = {}  # flow_id -> (kind, route, weight)
 
-    def push_start(self, flow_id, route, weight: float = 1.0):
+    def push_start(self, flow_id: Hashable, route: npt.ArrayLike,
+                   weight: float = 1.0) -> None:
         with self._lock:
             prior = self._pending.get(flow_id)
             kind = _EV_START
@@ -308,7 +318,7 @@ class ChurnQueue:
                 kind = _EV_RESTART
             self._pending[flow_id] = (kind, route, weight)
 
-    def push_end(self, flow_id):
+    def push_end(self, flow_id: Hashable) -> None:
         with self._lock:
             prior = self._pending.get(flow_id)
             if prior is None:
@@ -320,7 +330,7 @@ class ChurnQueue:
                 self._pending[flow_id] = (_EV_END, None, None)
             # prior end: no-op (idempotent)
 
-    def pending_kind(self, flow_id):
+    def pending_kind(self, flow_id: Hashable) -> str | None:
         """The coalesced pending kind for ``flow_id`` (or ``None``).
 
         Lets the service validate duplicate starts / unknown ends at
@@ -331,7 +341,7 @@ class ChurnQueue:
             ev = self._pending.get(flow_id)
             return ev[0] if ev is not None else None
 
-    def drain(self):
+    def drain(self) -> tuple[list[tuple[Any, Any, Any]], list[Any]]:
         """Atomically take the batch: ``(starts, ends)`` for apply_churn.
 
         ``starts`` is a list of ``(flow_id, route, weight)``; ``ends``

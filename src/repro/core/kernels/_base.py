@@ -20,6 +20,10 @@ from __future__ import annotations
 import os
 
 import numpy as np
+import numpy.typing as npt
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
 
 #: Canonical reduction chunk size (rows).  Part of the bitwise
 #: contract: results at n > BLOCK_ROWS depend on it (at the 1-ulp
@@ -28,7 +32,7 @@ import numpy as np
 BLOCK_ROWS = int(os.environ.get("REPRO_KERNEL_BLOCK", "16384"))
 
 
-def chunk_spans(n):
+def chunk_spans(n: int) -> list[tuple[int, int]]:
     """The canonical chunk grid for ``n`` rows: ``[(r0, r1), ...]``.
 
     Depends only on ``n`` and :data:`BLOCK_ROWS` — never on the tier
@@ -42,7 +46,9 @@ def chunk_spans(n):
 # per-chunk primitives (rows [r0, r1) of a width-uniform CSR index)
 # ----------------------------------------------------------------------
 
-def price_sums_chunk(padded, indices, buf, out, r0, r1, width):
+def price_sums_chunk(padded: FloatArray, indices: IntArray,
+                     buf: FloatArray, out: FloatArray,
+                     r0: int, r1: int, width: int) -> None:
     """out[r0:r1] = left-to-right sum of padded[indices] per row.
 
     Column-wise adds over the gathered ``(rows, width)`` block: the
@@ -61,7 +67,8 @@ def price_sums_chunk(padded, indices, buf, out, r0, r1, width):
         dst += mat[:, hop]
 
 
-def max_chunk(padded, indices, buf, out, r0, r1, width):
+def max_chunk(padded: FloatArray, indices: IntArray, buf: FloatArray,
+              out: FloatArray, r0: int, r1: int, width: int) -> None:
     """out[r0:r1] = per-row max of padded[indices] (pad slots -inf)."""
     lo = r0 * width
     seg = buf[lo: r1 * width]
@@ -73,7 +80,9 @@ def max_chunk(padded, indices, buf, out, r0, r1, width):
         np.maximum(dst, mat[:, hop], out=dst)
 
 
-def totals_chunk(values, indices, buf, r0, r1, width, minlength):
+def totals_chunk(values: FloatArray, indices: IntArray,
+                 buf: FloatArray, r0: int, r1: int, width: int,
+                 minlength: int) -> FloatArray:
     """Partial link scatter for one chunk (fresh ``minlength`` array).
 
     The per-flow value is expanded to its slots by a broadcast store
@@ -86,24 +95,30 @@ def totals_chunk(values, indices, buf, r0, r1, width, minlength):
     lo = r0 * width
     seg = buf[lo: r1 * width]
     seg.reshape(r1 - r0, width)[:] = values[r0:r1, None]
-    return np.bincount(indices[lo: r1 * width], weights=seg,
-                       minlength=minlength)
+    return np.asarray(np.bincount(indices[lo: r1 * width], weights=seg,
+                                  minlength=minlength), dtype=np.float64)
 
 
-def totals2_chunk(a, b, indices, buf, r0, r1, width, minlength):
+def totals2_chunk(a: FloatArray, b: FloatArray, indices: IntArray,
+                  buf: FloatArray, r0: int, r1: int, width: int,
+                  minlength: int) -> tuple[FloatArray, FloatArray]:
     """Fused pair of :func:`totals_chunk` sharing one index slice."""
     lo = r0 * width
     idx = indices[lo: r1 * width]
     seg = buf[lo: r1 * width]
     mat = seg.reshape(r1 - r0, width)
     mat[:] = a[r0:r1, None]
-    totals_a = np.bincount(idx, weights=seg, minlength=minlength)
+    totals_a = np.asarray(np.bincount(idx, weights=seg,
+                                      minlength=minlength), dtype=np.float64)
     mat[:] = b[r0:r1, None]
-    totals_b = np.bincount(idx, weights=seg, minlength=minlength)
+    totals_b = np.asarray(np.bincount(idx, weights=seg,
+                                      minlength=minlength), dtype=np.float64)
     return totals_a, totals_b
 
 
-def min_rows_chunk(padded, rows_mat, buf2d, out, r0, r1):
+def min_rows_chunk(padded: FloatArray, rows_mat: IntArray,
+                   buf2d: FloatArray, out: FloatArray,
+                   r0: int, r1: int) -> None:
     """out[r0:r1] = per-row min of padded[rows_mat] (pad slots +inf).
 
     The churn-apply bottleneck gather: ``rows_mat`` is a slice of the
@@ -117,7 +132,7 @@ def min_rows_chunk(padded, rows_mat, buf2d, out, r0, r1):
         np.minimum(dst, seg[:, hop], out=dst)
 
 
-def reduce_parts(parts):
+def reduce_parts(parts: list[FloatArray]) -> FloatArray:
     """Fold per-chunk partials in ascending chunk order (canonical)."""
     total = parts[0]
     for part in parts[1:]:

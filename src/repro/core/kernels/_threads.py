@@ -57,6 +57,7 @@ class _FanOut:
         self._work = None
         self._n_shares = 0
         self._errors = []
+        self._stopping = False
         self._cv = threading.Condition()
         self._pending = 0
         self._go = [threading.Event() for _ in range(n_helpers)]
@@ -73,6 +74,8 @@ class _FanOut:
         while True:
             go.wait()
             go.clear()
+            if self._stopping:
+                return
             if helper + 1 < self._n_shares:
                 try:
                     self._work(helper + 1)
@@ -99,6 +102,24 @@ class _FanOut:
         if self._errors:
             raise self._errors[0]
 
+    def close(self):
+        """Stop and join the helpers (idempotent).
+
+        Helpers are daemons, so an unclosed pool still dies with the
+        interpreter; close() gives tests and long-lived embedders a
+        deterministic teardown.  Joining is skipped in forked children
+        — they never inherited the threads.
+        """
+        if self._stopping:
+            return
+        self._stopping = True
+        for go in self._go:
+            go.set()
+        if os.getpid() != self._pid:
+            return
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
 
 class ThreadsTier:
     """Chunk-parallel kernels on a persistent thread pool."""
@@ -115,6 +136,12 @@ class ThreadsTier:
     def describe(self):
         return f"threads({self.n_threads})"
 
+    def close(self):
+        """Tear down the helper pool; the tier rebuilds it on demand."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
     def _run(self, work, n_shares):
         """Dispatch ``work(share)`` over ``n_shares`` shares."""
         if n_shares <= 1 or self.n_threads == 1:
@@ -122,7 +149,7 @@ class ThreadsTier:
                 work(share)
             return
         pool = self._pool
-        if pool is None or pool._pid != os.getpid():
+        if pool is None or pool._stopping or pool._pid != os.getpid():
             pool = self._pool = _FanOut(self.n_threads - 1)
         pool.run(work, n_shares)
 

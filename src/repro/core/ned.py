@@ -25,8 +25,11 @@ to zero (nothing to price).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
+from .network import FlowTable
 from .optimizer import PriceOptimizer
+from .utility import Utility
 
 __all__ = ["NedOptimizer"]
 
@@ -44,8 +47,9 @@ class NedOptimizer(PriceOptimizer):
 
     name = "NED"
 
-    def __init__(self, table, utility=None, gamma: float = 1.0,
-                 initial_price: float = 1.0, cap_rates: bool = True):
+    def __init__(self, table: FlowTable, utility: Utility | None = None,
+                 gamma: float = 1.0, initial_price: float = 1.0,
+                 cap_rates: bool = True) -> None:
         super().__init__(table, utility=utility, initial_price=initial_price,
                          cap_rates=cap_rates)
         if gamma <= 0:
@@ -59,13 +63,14 @@ class NedOptimizer(PriceOptimizer):
             self.utility.inverse_rate(table.links.capacity, 1.0),
             dtype=np.float64)
 
-    def refresh_capacity(self):
+    def refresh_capacity(self) -> None:
         super().refresh_capacity()
         self._idle_price = np.asarray(
             self.utility.inverse_rate(self.table.links.capacity, 1.0),
             dtype=np.float64)
 
-    def hessian_diagonal(self, prices=None):
+    def hessian_diagonal(self, prices: npt.NDArray[np.float64] | None = None,
+                         ) -> npt.NDArray[np.float64]:
         """Exact ``H_ll`` for all links (non-positive by concavity).
 
         Evaluated at the capped operating point (see

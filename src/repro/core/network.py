@@ -34,16 +34,26 @@ into the hole so the arrays stay dense.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 
 from . import kernels
 
 __all__ = ["LinkSet", "FlowTable", "FlowColumn"]
 
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+#: Storage hook signature: ``alloc(tag, shape, dtype) -> array``.
+AllocatorFn = Callable[[str, tuple[int, ...], Any], npt.NDArray[Any]]
+
 _INITIAL_CAPACITY = 64
 
 
-def _numpy_allocator(tag, shape, dtype):
+def _numpy_allocator(tag: str, shape: tuple[int, ...],
+                     dtype: Any) -> npt.NDArray[Any]:
     """Default storage: ordinary process-local numpy arrays."""
     return np.empty(shape, dtype=dtype)
 
@@ -82,7 +92,8 @@ class LinkSet:
     the float32 real-time variants remain usable).
     """
 
-    def __init__(self, capacities, names=None):
+    def __init__(self, capacities: npt.ArrayLike,
+                 names: Sequence[str] | None = None) -> None:
         self.capacity = np.asarray(capacities, dtype=np.float64).copy()
         if self.capacity.ndim != 1:
             raise ValueError("capacities must be a 1-D array")
@@ -93,10 +104,10 @@ class LinkSet:
         self.names = list(names) if names is not None else None
 
     @property
-    def n_links(self):
+    def n_links(self) -> int:
         return len(self.capacity)
 
-    def name_of(self, link):
+    def name_of(self, link: int) -> str:
         if self.names is None:
             return f"link{link}"
         return self.names[link]
@@ -118,7 +129,7 @@ class FlowTable:
     """
 
     def __init__(self, links: LinkSet, max_route_len: int = 8,
-                 allocator=None):
+                 allocator: AllocatorFn | None = None) -> None:
         if max_route_len < 1:
             raise ValueError("max_route_len must be at least 1")
         self.links = links
@@ -197,7 +208,8 @@ class FlowTable:
         self._capacity_dirty = False
         self._bottleneck = self.add_column(default=np.inf)
 
-    def add_column(self, default=0.0, dtype=np.float64):
+    def add_column(self, default: float = 0.0,
+                   dtype: npt.DTypeLike = np.float64) -> FlowColumn:
         """Register a per-flow side array the table keeps aligned.
 
         Existing flows are filled with ``default``; newly added flows
@@ -228,7 +240,8 @@ class FlowTable:
             )
         return route
 
-    def add_flow(self, flow_id, route, weight=1.0):
+    def add_flow(self, flow_id: Hashable, route: npt.ArrayLike,
+                 weight: float = 1.0) -> int:
         """Register a flow; returns its (unstable) positional index.
 
         ``route`` is a sequence of link indices.  Every flow must
@@ -260,7 +273,7 @@ class FlowTable:
         self.version += 1
         return idx
 
-    def remove_flow(self, flow_id):
+    def remove_flow(self, flow_id: Hashable) -> int:
         """Remove a flow by id (swap-remove keeps rows dense)."""
         idx = self._index_of.pop(flow_id)
         last = self._n - 1
@@ -281,7 +294,7 @@ class FlowTable:
         self.version += 1
         return idx
 
-    def remove_flows(self, flow_ids):
+    def remove_flows(self, flow_ids: Iterable[Hashable]) -> None:
         """Batched removal: the vectorized mirror of the batched add.
 
         Validates the whole batch up front (an unknown or duplicated id
@@ -348,7 +361,8 @@ class FlowTable:
         self._n = new_n
         self.version += 1
 
-    def apply_churn(self, starts=(), ends=()):
+    def apply_churn(self, starts: Iterable[tuple[Any, ...]] = (),
+                    ends: Iterable[Hashable] = ()) -> None:
         """Batched churn: remove ``ends``, then add ``starts``.
 
         ``ends`` is an iterable of flow ids; ``starts`` of
@@ -443,7 +457,7 @@ class FlowTable:
         self._n += k
         self.version += 1
 
-    def reserve(self, n_flows):
+    def reserve(self, n_flows: int) -> None:
         """Pre-grow storage to hold ``n_flows`` without reallocation."""
         while len(self._weights) < n_flows:
             self._grow()
@@ -474,7 +488,7 @@ class FlowTable:
     # ------------------------------------------------------------------
     # dirty-row tracking (delta-encoded churn publication)
     # ------------------------------------------------------------------
-    def start_change_log(self):
+    def start_change_log(self) -> None:
         """Begin (or reset) dirty-row tracking.
 
         Afterwards every churn event records which positional rows it
@@ -488,7 +502,7 @@ class FlowTable:
         self._change_log = set()
         self._change_all = False
 
-    def consume_changes(self):
+    def consume_changes(self) -> tuple[IntArray, bool]:
         """Drain the dirty-row log: ``(rows, all_changed)``.
 
         ``rows`` is a sorted int64 array of logged positions still in
@@ -509,7 +523,7 @@ class FlowTable:
         self._change_all = False
         return rows, all_changed
 
-    def refresh_capacity(self):
+    def refresh_capacity(self) -> None:
         """Mark capacity-derived per-flow caches stale after link
         capacities were changed in place (§7 external traffic).
 
@@ -551,7 +565,7 @@ class FlowTable:
     # queries (views aligned with positional order)
     # ------------------------------------------------------------------
     @property
-    def n_flows(self):
+    def n_flows(self) -> int:
         return self._n
 
     def __len__(self):
@@ -560,14 +574,14 @@ class FlowTable:
     def __contains__(self, flow_id):
         return flow_id in self._index_of
 
-    def index_of(self, flow_id):
+    def index_of(self, flow_id: Hashable) -> int:
         return self._index_of[flow_id]
 
-    def flow_ids(self):
+    def flow_ids(self) -> list[Any]:
         """Current positional order of flow ids (list copy)."""
         return self._ids[: self._n].tolist()
 
-    def flow_id_array(self):
+    def flow_id_array(self) -> npt.NDArray[Any]:
         """Read-only view of the positionally-aligned id column, O(1).
 
         Aligned with :attr:`routes`/:attr:`weights` and every
@@ -581,21 +595,21 @@ class FlowTable:
         return view
 
     @property
-    def routes(self):
+    def routes(self) -> IntArray:
         """Padded route matrix view, shape ``(n_flows, max_route_len)``."""
         return self._routes[: self._n]
 
     @property
-    def weights(self):
+    def weights(self) -> FloatArray:
         """Per-flow weight view, shape ``(n_flows,)``."""
         return self._weights[: self._n]
 
-    def route_of(self, flow_id):
+    def route_of(self, flow_id: Hashable) -> IntArray:
         """Unpadded route (link-index array) of one flow."""
         row = self._routes[self._index_of[flow_id]]
         return row[row != self.pad_link].copy()
 
-    def hop_counts(self):
+    def hop_counts(self) -> IntArray:
         """Number of real (non-pad) hops per flow."""
         return np.sum(self.routes != self.pad_link, axis=1)
 
@@ -679,14 +693,15 @@ class FlowTable:
     # ------------------------------------------------------------------
     # vectorized NUM kernels
     # ------------------------------------------------------------------
-    def pad(self, per_link, pad_value=0.0, dtype=np.float64):
+    def pad(self, per_link: npt.ArrayLike, pad_value: float = 0.0,
+            dtype: npt.DTypeLike = np.float64) -> npt.NDArray[Any]:
         """Extend a per-link vector with the pad-link entry."""
         padded = np.empty(self.links.n_links + 1, dtype=dtype)
         padded[:-1] = per_link
         padded[-1] = pad_value
         return padded
 
-    def price_sums(self, prices):
+    def price_sums(self, prices: npt.ArrayLike) -> FloatArray:
         """Per-flow sums of link prices along each route (rho_s).
 
         ``prices`` has one entry per real link; slack slots gather the
@@ -704,7 +719,7 @@ class FlowTable:
             self.pad(prices), indices, n, self._csr_width,
             self._kernel_buf)
 
-    def link_totals(self, per_flow):
+    def link_totals(self, per_flow: npt.ArrayLike) -> FloatArray:
         """Scatter per-flow values onto links: ``out[l] = sum_{s in S(l)} v_s``.
 
         This computes aggregate link load when given rates, and the
@@ -726,7 +741,8 @@ class FlowTable:
             self._csr_width, self.links.n_links + 1, self._kernel_buf)
         return totals[:-1]
 
-    def link_totals2(self, a, b):
+    def link_totals2(self, a: npt.ArrayLike, b: npt.ArrayLike,
+                     ) -> tuple[FloatArray, FloatArray]:
         """Fused pair of :meth:`link_totals` calls over one CSR pass.
 
         The allocator's price update scatters rates and rate
@@ -749,7 +765,7 @@ class FlowTable:
             self._csr_width, self.links.n_links + 1, self._kernel_buf)
         return totals_a[:-1], totals_b[:-1]
 
-    def max_link_value(self, per_link):
+    def max_link_value(self, per_link: npt.ArrayLike) -> FloatArray:
         """Per-flow max of a per-link quantity along each route.
 
         Used by F-NORM: each flow is scaled by its most-congested
@@ -773,11 +789,11 @@ class FlowTable:
             self.pad(per_link, pad_value=-np.inf), indices, n,
             self._csr_width, self._kernel_buf, self._max_out[:n])
 
-    def flows_on_link(self, link):
+    def flows_on_link(self, link: int) -> IntArray:
         """Positional indices of flows traversing ``link`` (test aid)."""
         return np.nonzero(np.any(self.routes == link, axis=1))[0]
 
-    def bottleneck_capacity(self):
+    def bottleneck_capacity(self) -> FloatArray:
         """Per-flow minimum link capacity along each route.
 
         No feasible allocation can give a flow more than this, so
@@ -800,7 +816,7 @@ class FlowTable:
         view.flags.writeable = False
         return view
 
-    def clone(self):
+    def clone(self) -> FlowTable:
         """Deep copy with the same flows in the same positional order
         (used to solve for the optimum without disturbing the live
         allocator state).  The whole population rides one batched

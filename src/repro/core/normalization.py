@@ -28,16 +28,20 @@ which some deployments may prefer during convergence from below.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from .network import FlowTable
 
 __all__ = ["link_ratios", "u_norm", "f_norm", "Normalizer",
            "UNormalizer", "FNormalizer", "NullNormalizer"]
 
+FloatArray = npt.NDArray[np.float64]
+
 _EPSILON = 1e-12
 
 
-def link_ratios(table: FlowTable, rates, link_load=None):
+def link_ratios(table: FlowTable, rates: npt.ArrayLike,
+                link_load: FloatArray | None = None) -> FloatArray:
     """Per-link allocation-to-capacity ratios ``r_l`` (Equation 8).
 
     ``link_load`` short-circuits the scatter when the caller already
@@ -45,11 +49,12 @@ def link_ratios(table: FlowTable, rates, link_load=None):
     price update's load through so one iterate scatters rates once.
     """
     load = link_load if link_load is not None else table.link_totals(rates)
-    return load / table.links.capacity
+    return np.asarray(load / table.links.capacity, dtype=np.float64)
 
 
-def u_norm(table: FlowTable, rates, allow_scale_up: bool = True,
-           link_load=None):
+def u_norm(table: FlowTable, rates: npt.ArrayLike,
+           allow_scale_up: bool = True,
+           link_load: FloatArray | None = None) -> FloatArray:
     """Uniform normalization (Equation 8): all flows / worst ratio."""
     rates = np.asarray(rates, dtype=np.float64)
     if len(rates) == 0:
@@ -62,8 +67,9 @@ def u_norm(table: FlowTable, rates, allow_scale_up: bool = True,
     return rates / worst
 
 
-def f_norm(table: FlowTable, rates, allow_scale_up: bool = True,
-           link_load=None):
+def f_norm(table: FlowTable, rates: npt.ArrayLike,
+           allow_scale_up: bool = True,
+           link_load: FloatArray | None = None) -> FloatArray:
     """Per-flow normalization (Equation 9): each flow / its worst link."""
     rates = np.asarray(rates, dtype=np.float64)
     if len(rates) == 0:
@@ -90,17 +96,19 @@ class Normalizer:
 
     name = "none"
 
-    def __call__(self, table: FlowTable, rates, link_load=None):
+    def __call__(self, table: FlowTable, rates: npt.ArrayLike,
+                 link_load: FloatArray | None = None) -> FloatArray:
         raise NotImplementedError
 
 
 class UNormalizer(Normalizer):
     name = "U-NORM"
 
-    def __init__(self, allow_scale_up: bool = True):
+    def __init__(self, allow_scale_up: bool = True) -> None:
         self.allow_scale_up = allow_scale_up
 
-    def __call__(self, table, rates, link_load=None):
+    def __call__(self, table: FlowTable, rates: npt.ArrayLike,
+                 link_load: FloatArray | None = None) -> FloatArray:
         return u_norm(table, rates, allow_scale_up=self.allow_scale_up,
                       link_load=link_load)
 
@@ -108,10 +116,11 @@ class UNormalizer(Normalizer):
 class FNormalizer(Normalizer):
     name = "F-NORM"
 
-    def __init__(self, allow_scale_up: bool = True):
+    def __init__(self, allow_scale_up: bool = True) -> None:
         self.allow_scale_up = allow_scale_up
 
-    def __call__(self, table, rates, link_load=None):
+    def __call__(self, table: FlowTable, rates: npt.ArrayLike,
+                 link_load: FloatArray | None = None) -> FloatArray:
         return f_norm(table, rates, allow_scale_up=self.allow_scale_up,
                       link_load=link_load)
 
@@ -121,5 +130,6 @@ class NullNormalizer(Normalizer):
 
     name = "none"
 
-    def __call__(self, table, rates, link_load=None):
+    def __call__(self, table: FlowTable, rates: npt.ArrayLike,
+                 link_load: FloatArray | None = None) -> FloatArray:
         return np.asarray(rates, dtype=np.float64).copy()

@@ -26,13 +26,24 @@ single call.
 
 from __future__ import annotations
 
+from typing import Any, Union
+
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["Utility", "LogUtility", "AlphaFairUtility", "MIN_PRICE_SUM"]
+
+#: Scalar-or-vector operand: every method broadcasts over either.
+ArrayOrFloat = Union[float, npt.NDArray[np.float64]]
+FloatArray = npt.NDArray[np.float64]
 
 # Prices can momentarily be zero on uncongested links; clamping the
 # per-flow price sum bounds rates instead of letting them diverge.
 MIN_PRICE_SUM = 1e-9
+
+
+def _f64(values: Any) -> FloatArray:
+    return np.asarray(values, dtype=np.float64)
 
 
 class Utility:
@@ -42,22 +53,26 @@ class Utility:
     increasing (the paper's admissibility conditions for NED, §3).
     """
 
-    def value(self, x, weight=1.0):
+    def value(self, x: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+              ) -> FloatArray:
         """Return ``U(x)`` elementwise."""
         raise NotImplementedError
 
-    def rate(self, price_sum, weight=1.0):
+    def rate(self, price_sum: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+             ) -> FloatArray:
         """Return ``(U')^{-1}(price_sum)`` elementwise (Equation 3)."""
         raise NotImplementedError
 
-    def rate_derivative(self, price_sum, weight=1.0):
+    def rate_derivative(self, price_sum: ArrayOrFloat,
+                        weight: ArrayOrFloat = 1.0) -> FloatArray:
         """Return ``d/dp (U')^{-1}(p)`` at ``p = price_sum``.
 
         Negative for any strictly concave utility.
         """
         raise NotImplementedError
 
-    def inverse_rate(self, x, weight=1.0):
+    def inverse_rate(self, x: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+                     ) -> FloatArray:
         """Return ``U'(x)``, the price sum at which ``x`` is optimal.
 
         Used to warm-start prices and to verify KKT conditions in
@@ -74,23 +89,27 @@ class LogUtility(Utility):
     its derivative is ``-w / rho**2``.
     """
 
-    def value(self, x, weight=1.0):
-        x = np.asarray(x, dtype=np.float64)
-        return weight * np.log(np.maximum(x, MIN_PRICE_SUM))
+    def value(self, x: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+              ) -> FloatArray:
+        clamped = np.maximum(_f64(x), MIN_PRICE_SUM)
+        return _f64(weight * np.log(clamped))
 
-    def rate(self, price_sum, weight=1.0):
-        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
-        return weight / rho
+    def rate(self, price_sum: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+             ) -> FloatArray:
+        rho = np.maximum(_f64(price_sum), MIN_PRICE_SUM)
+        return _f64(weight / rho)
 
-    def rate_derivative(self, price_sum, weight=1.0):
-        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
-        return -weight / (rho * rho)
+    def rate_derivative(self, price_sum: ArrayOrFloat,
+                        weight: ArrayOrFloat = 1.0) -> FloatArray:
+        rho = np.maximum(_f64(price_sum), MIN_PRICE_SUM)
+        return _f64(-weight / (rho * rho))
 
-    def inverse_rate(self, x, weight=1.0):
-        x = np.maximum(np.asarray(x, dtype=np.float64), MIN_PRICE_SUM)
-        return weight / x
+    def inverse_rate(self, x: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+                     ) -> FloatArray:
+        clamped = np.maximum(_f64(x), MIN_PRICE_SUM)
+        return _f64(weight / clamped)
 
-    def __repr__(self):  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "LogUtility()"
 
 
@@ -103,33 +122,38 @@ class AlphaFairUtility(Utility):
     supports any admissible utility — this class exercises that claim.
     """
 
-    def __init__(self, alpha):
+    def __init__(self, alpha: float) -> None:
         if alpha <= 0:
             raise ValueError("alpha must be positive for strict concavity")
         if abs(alpha - 1.0) < 1e-12:
             raise ValueError("alpha == 1 is LogUtility; use that class")
         self.alpha = float(alpha)
 
-    def value(self, x, weight=1.0):
-        x = np.maximum(np.asarray(x, dtype=np.float64), MIN_PRICE_SUM)
-        return weight * x ** (1.0 - self.alpha) / (1.0 - self.alpha)
+    def value(self, x: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+              ) -> FloatArray:
+        clamped = np.maximum(_f64(x), MIN_PRICE_SUM)
+        return _f64(weight * clamped ** (1.0 - self.alpha)
+                    / (1.0 - self.alpha))
 
-    def rate(self, price_sum, weight=1.0):
+    def rate(self, price_sum: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+             ) -> FloatArray:
         # U'(x) = w * x^{-alpha}  =>  x = (w / rho)^{1/alpha}
-        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
-        return (weight / rho) ** (1.0 / self.alpha)
+        rho = np.maximum(_f64(price_sum), MIN_PRICE_SUM)
+        return _f64((weight / rho) ** (1.0 / self.alpha))
 
-    def rate_derivative(self, price_sum, weight=1.0):
-        rho = np.maximum(np.asarray(price_sum, dtype=np.float64), MIN_PRICE_SUM)
-        return (
+    def rate_derivative(self, price_sum: ArrayOrFloat,
+                        weight: ArrayOrFloat = 1.0) -> FloatArray:
+        rho = np.maximum(_f64(price_sum), MIN_PRICE_SUM)
+        return _f64(
             -(1.0 / self.alpha)
             * (weight ** (1.0 / self.alpha))
             * rho ** (-1.0 / self.alpha - 1.0)
         )
 
-    def inverse_rate(self, x, weight=1.0):
-        x = np.maximum(np.asarray(x, dtype=np.float64), MIN_PRICE_SUM)
-        return weight * x ** (-self.alpha)
+    def inverse_rate(self, x: ArrayOrFloat, weight: ArrayOrFloat = 1.0,
+                     ) -> FloatArray:
+        clamped = np.maximum(_f64(x), MIN_PRICE_SUM)
+        return _f64(weight * clamped ** (-self.alpha))
 
-    def __repr__(self):  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AlphaFairUtility(alpha={self.alpha})"

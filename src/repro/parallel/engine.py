@@ -35,13 +35,17 @@ Execution is pluggable behind :class:`ParallelBackend`:
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Iterable
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.ned import NedOptimizer
 from ..core.network import FlowTable
-from ..core.utility import LogUtility
+from ..core.utility import LogUtility, Utility
+from ..topology.graph import Topology
 from .aggregation import (aggregation_schedule, distribution_schedule,
                           final_down_holder, final_up_holder)
 from .blocks import BlockPartition
@@ -156,9 +160,12 @@ class MulticoreNedEngine:
     equivalence can be checked flow-for-flow.
     """
 
-    def __init__(self, topology, n_blocks, utility=None, gamma=1.0,
-                 max_route_len=8, backend="simulated", n_workers=None,
-                 reserve_per_block=0, fabric="shm", fabric_options=None):
+    def __init__(self, topology: Topology, n_blocks: int,
+                 utility: Utility | None = None, gamma: float = 1.0,
+                 max_route_len: int = 8, backend: str = "simulated",
+                 n_workers: int | None = None, reserve_per_block: int = 0,
+                 fabric: str = "shm",
+                 fabric_options: dict | None = None) -> None:
         self.partition = BlockPartition(topology, n_blocks)
         self.links = topology.link_set()
         self.utility = utility if utility is not None else LogUtility()
@@ -201,7 +208,9 @@ class MulticoreNedEngine:
     # ------------------------------------------------------------------
     # churn
     # ------------------------------------------------------------------
-    def add_flow(self, flow_id, src_host, dst_host, route=None, weight=1.0):
+    def add_flow(self, flow_id: Hashable, src_host: int, dst_host: int,
+                 route: npt.ArrayLike | None = None,
+                 weight: float = 1.0) -> tuple[int, int]:
         if route is None:
             route = self.partition.topology.route(src_host, dst_host, flow_id)
         coords = self.partition.flowblock_of(src_host, dst_host)
@@ -209,11 +218,12 @@ class MulticoreNedEngine:
         self._flow_home[flow_id] = coords
         return coords
 
-    def remove_flow(self, flow_id):
+    def remove_flow(self, flow_id: Hashable) -> None:
         coords = self._flow_home.pop(flow_id)
         self.processors[coords].table.remove_flow(flow_id)
 
-    def apply_churn(self, starts=(), ends=()):
+    def apply_churn(self, starts: Iterable[tuple[Any, ...]] = (),
+                    ends: Iterable[Hashable] = ()) -> None:
         """Batched flowlet churn routed to the owning FlowBlocks.
 
         ``ends`` is an iterable of flow ids; ``starts`` of ``(flow_id,
@@ -267,7 +277,7 @@ class MulticoreNedEngine:
             for flow_id, _, _ in cell_starts:
                 self._flow_home[flow_id] = cell
 
-    def refresh_capacity(self):
+    def refresh_capacity(self) -> None:
         """Re-read link capacities after an in-place change (§7).
 
         This is the supported way to change capacities under the
@@ -284,20 +294,20 @@ class MulticoreNedEngine:
         self.backend.refresh_capacity()
 
     @property
-    def n_flows(self):
+    def n_flows(self) -> int:
         return len(self._flow_home)
 
     # ------------------------------------------------------------------
     # one parallel iteration
     # ------------------------------------------------------------------
-    def iterate(self, n: int = 1):
+    def iterate(self, n: int = 1) -> IterationStats:
         stats = IterationStats(
             n_processors=self.partition.n_processors,
             links_per_block=self.partition.links_per_block)
         self.backend.run(n, stats)
         return stats
 
-    def close(self):
+    def close(self) -> None:
         """Shut down the backend (worker pool, shared memory, sockets);
         no-op for the simulated backend.  Idempotent, and safe to call
         even if backend construction failed partway or a worker died
@@ -396,7 +406,7 @@ class MulticoreNedEngine:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
-    def rates(self):
+    def rates(self) -> dict[Any, float]:
         """flow_id -> current rate, combining all processors."""
         out = {}
         for proc in self.processors.values():
@@ -409,7 +419,7 @@ class MulticoreNedEngine:
             out.update(zip(table.flow_ids(), (float(r) for r in rates)))
         return out
 
-    def global_prices(self):
+    def global_prices(self) -> npt.NDArray[np.float64]:
         """Authoritative prices assembled from the diagonal holders."""
         prices = np.zeros(self.links.n_links)
         n = self.grid_side
@@ -422,7 +432,7 @@ class MulticoreNedEngine:
                 final_down_holder(n, block)].prices[down_idx]
         return prices
 
-    def reference_optimizer(self):
+    def reference_optimizer(self) -> NedOptimizer:
         """A single-core NED over the same flows (equivalence checks)."""
         table = FlowTable(self.links, max_route_len=self.max_route_len)
         for proc in self.processors.values():

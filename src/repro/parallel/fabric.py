@@ -61,7 +61,11 @@ import weakref
 
 import multiprocessing as mp
 
+from collections.abc import Callable, Sequence
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 
 from .shm import SharedArena
 
@@ -634,7 +638,8 @@ class _ShmEndpoint:
         self._conn.send(obj)
 
     def done_payload(self, plans):
-        return None  # prices are shared; the parent already sees them
+        # Prices are shared; the parent already sees them.
+        return
 
     def apply_churn(self, payload, plans):  # pragma: no cover - defensive
         raise FabricError("shm fabric ships churn through shared memory")
@@ -897,8 +902,8 @@ def _accept_authenticated(listener, token, deadline, sockbuf=None):
         listener.settimeout(remaining)
         try:
             sock, _ = listener.accept()
-        except TimeoutError:
-            raise FabricError("fabric bootstrap timed out")
+        except TimeoutError as exc:
+            raise FabricError("fabric bootstrap timed out") from exc
         sock.settimeout(10.0)
         try:
             presented = bytes(_recv_exact(sock, _TOKEN_LEN))
@@ -992,12 +997,15 @@ class SharedMemoryFabric:
 
     name = "shm"
 
-    def __init__(self, timeout=600.0, barrier_mode=None, barrier_spin=200):
+    def __init__(self, timeout: float = 600.0,
+                 barrier_mode: str | None = None,
+                 barrier_spin: int = 200) -> None:
         try:
             self._ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platform
+        except ValueError as exc:  # pragma: no cover - non-POSIX
             raise FabricError(
-                "the shm fabric needs the fork start method (POSIX)")
+                "the shm fabric needs the fork start method "
+                "(POSIX)") from exc
         self.timeout = float(timeout)
         self._barrier_mode = barrier_mode
         self._barrier_spin = barrier_spin
@@ -1011,7 +1019,9 @@ class SharedMemoryFabric:
         self._closed = False
 
     # -- storage ------------------------------------------------------
-    def alloc_state(self, n_procs, n_links, capacity, idle_price):
+    def alloc_state(self, n_procs: int, n_links: int,
+                    capacity: npt.ArrayLike,
+                    idle_price: npt.ArrayLike) -> dict[str, Any]:
         arena = self.arena
         state = {
             "prices": arena.full("prices", (n_procs, n_links), 1.0),
@@ -1028,18 +1038,19 @@ class SharedMemoryFabric:
         self._state = state
         return state
 
-    def table_allocator(self, row):
+    def table_allocator(self, row: int) -> Callable:
         self._table_rows.append(row)
         return self.arena.allocator(f"cell{row}")
 
-    def processor_prices(self, row):
+    def processor_prices(self, row: int) -> npt.NDArray[np.float64]:
         return self._state["prices"][row]
 
     def _table_capacity(self, row):
         return self.arena.shape(f"cell{row}/weights")[0]
 
     # -- lifecycle ----------------------------------------------------
-    def launch(self, worker_body, per_worker):
+    def launch(self, worker_body: Callable,
+               per_worker: Sequence[tuple[Any, Any]]) -> None:
         # Snapshot each cell's array capacity as the workers will
         # inherit it: sync_churn re-attaches a worker whenever the
         # parent's table has re-allocated past this since.
@@ -1064,7 +1075,8 @@ class SharedMemoryFabric:
             self.workers.append(process)
 
     # -- parent-side operations --------------------------------------
-    def sync_churn(self, cell_tables, owner_of_row):
+    def sync_churn(self, cell_tables: Sequence[tuple[int, Any]],
+                   owner_of_row: dict[int, int]) -> None:
         """Publish per-cell flow counts/versions; re-attach any cell
         whose shared arrays were re-allocated (table growth) since the
         owning worker last mapped them."""
@@ -1090,7 +1102,7 @@ class SharedMemoryFabric:
         except (BrokenPipeError, OSError) as exc:
             raise FabricError(f"worker {worker} is dead") from exc
 
-    def iterate(self, n):
+    def iterate(self, n: int) -> None:
         for w in range(len(self._conns)):
             self._send(w, ("iterate", int(n)))
         errors = []
@@ -1103,20 +1115,21 @@ class SharedMemoryFabric:
                                   f"{self.timeout:.0f}s")
             try:
                 message = conn.recv()
-            except (EOFError, OSError):
+            except (EOFError, OSError) as exc:
                 # Worker died without replying (killed, segfault).
-                raise FabricError(f"worker {w} died mid-iteration")
+                raise FabricError(
+                    f"worker {w} died mid-iteration") from exc
             if message[0] == "error":
                 errors.append(f"worker {w}:\n{message[1]}")
         if errors:
             raise FabricError("worker iteration failed\n" + "\n".join(errors))
-        return None
 
-    def refresh_capacity(self, capacity, idle_price):
+    def refresh_capacity(self, capacity: npt.ArrayLike,
+                         idle_price: npt.ArrayLike) -> None:
         self._state["capacity"][:] = capacity
         self._state["idle_price"][:] = idle_price
 
-    def close(self):
+    def close(self) -> None:
         if self._closed:
             return
         self._closed = True
@@ -1183,8 +1196,9 @@ class SocketFabric:
 
     name = "socket"
 
-    def __init__(self, timeout=600.0, host="127.0.0.1", launcher="fork",
-                 sockbuf=None):
+    def __init__(self, timeout: float = 600.0, host: str = "127.0.0.1",
+                 launcher: str = "fork",
+                 sockbuf: int | None = None) -> None:
         if launcher not in ("fork", "subprocess"):
             raise ValueError(f"unknown launcher {launcher!r}")
         self.timeout = float(timeout)
@@ -1210,23 +1224,26 @@ class SocketFabric:
         self._closed = False
 
     @property
-    def token_hex(self):
+    def token_hex(self) -> str:
         """The fabric secret, hex-encoded — hand it (e.g. via
         ``$REPRO_FABRIC_TOKEN``) to workers started on other hosts."""
         return self._token.hex()
 
     # -- storage: none is shared --------------------------------------
-    def alloc_state(self, n_procs, n_links, capacity, idle_price):
-        return None
+    def alloc_state(self, n_procs: int, n_links: int,
+                    capacity: npt.ArrayLike,
+                    idle_price: npt.ArrayLike) -> None:
+        return
 
-    def table_allocator(self, row):
-        return None
+    def table_allocator(self, row: int) -> None:
+        return
 
-    def processor_prices(self, row):
-        return None
+    def processor_prices(self, row: int) -> None:
+        return
 
     # -- lifecycle ----------------------------------------------------
-    def launch(self, worker_body, per_worker):
+    def launch(self, worker_body: Callable,
+               per_worker: Sequence[tuple[Any, Any]]) -> None:
         # ``worker_body`` is fixed by protocol for this fabric (the
         # entry reimports it); ``per_worker`` supplies rows + consts.
         n_workers = len(per_worker)
@@ -1284,7 +1301,8 @@ class SocketFabric:
             send_ctrl(self._conns[w], boot)
 
     # -- parent-side operations --------------------------------------
-    def sync_churn(self, cell_tables, owner_of_row):
+    def sync_churn(self, cell_tables: Sequence[tuple[int, Any]],
+                   owner_of_row: dict[int, int]) -> None:
         """Frame every cell whose table version moved since its last
         publication (plus any queued capacity update).
 
@@ -1323,7 +1341,7 @@ class SocketFabric:
             except FabricError as exc:
                 raise FabricError(f"worker {w} is dead") from exc
 
-    def iterate(self, n):
+    def iterate(self, n: int) -> dict[int, Any]:
         for w, conn in self._conns.items():
             try:
                 send_ctrl(conn, ("iterate", int(n)))
@@ -1356,17 +1374,18 @@ class SocketFabric:
             raise FabricError("worker iteration failed\n" + "\n".join(errors))
         return row_prices
 
-    def refresh_capacity(self, capacity, idle_price):
+    def refresh_capacity(self, capacity: npt.ArrayLike,
+                         idle_price: npt.ArrayLike) -> None:
         # Queued; ships with the next sync_churn so workers see the
         # new constants before their next iteration.
         self._capacity_update = (np.array(capacity, dtype=np.float64),
                                  np.array(idle_price, dtype=np.float64))
 
-    def close(self):
+    def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for w, conn in self._conns.items():
+        for conn in self._conns.values():
             try:
                 send_ctrl(conn, ("stop",))
             except FabricError:
@@ -1417,7 +1436,8 @@ class LocalCluster:
     :class:`~repro.parallel.engine.MulticoreNedEngine`.
     """
 
-    def __init__(self, topology, n_blocks, n_hosts=2, **engine_kwargs):
+    def __init__(self, topology: Any, n_blocks: int, n_hosts: int = 2,
+                 **engine_kwargs: Any) -> None:
         from .engine import MulticoreNedEngine
         self.engine = MulticoreNedEngine(
             topology, n_blocks, backend="process", fabric="socket",
@@ -1430,7 +1450,7 @@ class LocalCluster:
     def __exit__(self, *exc_info):
         self.engine.close()
 
-    def close(self):
+    def close(self) -> None:
         self.engine.close()
 
 

@@ -127,6 +127,13 @@ class SharedArena:
             # unlinked, so the memory goes away when the view does.
             pass
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
     def __del__(self):  # pragma: no cover - safety net
         try:
             self.close()

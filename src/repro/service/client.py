@@ -42,6 +42,10 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy.typing as npt
 
 from ..parallel.fabric import FabricError, connect_retry, send_frame
 from . import wire
@@ -76,8 +80,9 @@ class FlowtuneClient:
     per session), so two clients can both use flow id 0.
     """
 
-    def __init__(self, address, token, *, timeout=30.0,
-                 auto_reconnect=False, sockbuf=None):
+    def __init__(self, address: tuple[str, int], token: bytes | str, *,
+                 timeout: float = 30.0, auto_reconnect: bool = False,
+                 sockbuf: int | None = None) -> None:
         if isinstance(token, str):
             token = bytes.fromhex(token)
         self._token = bytes(token)
@@ -158,12 +163,13 @@ class FlowtuneClient:
                 # lost.
                 self.reconnect(replay_extra=payloads)
 
-    def flowlet_start(self, flow_id, route, weight=1.0):
+    def flowlet_start(self, flow_id: int, route: npt.ArrayLike,
+                      weight: float = 1.0) -> None:
         """Report one new backlogged flowlet on ``route``."""
         self._journal_start(flow_id, route, weight)
         self._send(wire.encode_start([(flow_id, route, weight)]))
 
-    def flowlet_end(self, flow_id):
+    def flowlet_end(self, flow_id: int) -> None:
         """Report one flowlet's queue drained.
 
         Idempotent while the end is unconfirmed: re-ending a flow
@@ -176,7 +182,8 @@ class FlowtuneClient:
         self._journal_end(flow_id)
         self._send(wire.encode_end([flow_id]))
 
-    def apply_churn(self, starts=(), ends=()):
+    def apply_churn(self, starts: Iterable[tuple[Any, ...]] = (),
+                    ends: Iterable[int] = ()) -> None:
         """Batch churn in one wire exchange: ends frame, then starts
         (matching :meth:`FlowtuneAllocator.apply_churn` order, so an
         id in both is a restart)."""
@@ -195,11 +202,11 @@ class FlowtuneClient:
         if payloads:
             self._send(*payloads)
 
-    def report_usage(self, reports):
+    def report_usage(self, reports: Iterable[tuple[int, int]]) -> None:
         """Send cumulative ``(flow_id, bytes)`` usage reports."""
         self._send(wire.encode_usage(reports))
 
-    def shutdown_service(self):
+    def shutdown_service(self) -> None:
         """Ask the service process to stop serving entirely."""
         self._send(wire.encode_shutdown())
 
@@ -250,7 +257,7 @@ class FlowtuneClient:
         return payloads
 
     @property
-    def journal_depth(self):
+    def journal_depth(self) -> tuple[int, int]:
         """(live-unacked, pending-end) journal sizes, for tests."""
         unacked = sum(1 for fid in self._journal_live
                       if fid not in self._acked)
@@ -259,7 +266,7 @@ class FlowtuneClient:
     # ------------------------------------------------------------------
     # reconnect / resume
     # ------------------------------------------------------------------
-    def reconnect(self, replay_extra=()):
+    def reconnect(self, replay_extra: Sequence[bytes] = ()) -> None:
         """Dial a fresh connection and RESUME the existing session.
 
         Presents the token, then sends RESUME ``(client_id,
@@ -311,7 +318,7 @@ class FlowtuneClient:
     # ------------------------------------------------------------------
     # receiving
     # ------------------------------------------------------------------
-    def poll(self, timeout=0.0):
+    def poll(self, timeout: float = 0.0) -> list[tuple[int, float]]:
         """Pump pending frames; return rate updates as ``[(fid, rate)]``.
 
         Blocks up to ``timeout`` seconds for the *first* data, then
@@ -332,10 +339,21 @@ class FlowtuneClient:
 
     def _recv_once(self, timeout, updates):
         """One recv; feeds the buffer, handles frames.  Returns False
-        when no data was available within ``timeout``."""
-        self._sock.settimeout(timeout if timeout > 0 else 0.0)
+        when no data was available within ``timeout``.
+
+        The blocking recv happens *outside* ``_send_lock`` (a stalled
+        server must not freeze senders), but the dispatch into the
+        frame buffer and rate-chain state happens under it: with
+        ``auto_reconnect`` a sender thread's failed send can swap the
+        socket, buffer, and delta chain mid-call, and unlocked
+        dispatch would feed the dead connection's bytes into the new
+        chain."""
+        with self._send_lock:
+            gen = self._conn_gen
+            sock = self._sock
+        sock.settimeout(timeout if timeout > 0 else 0.0)
         try:
-            data = self._sock.recv(_RECV_CHUNK)
+            data = sock.recv(_RECV_CHUNK)
         except (BlockingIOError, InterruptedError, TimeoutError):
             return False
         except OSError as exc:
@@ -345,7 +363,7 @@ class FlowtuneClient:
             raise FabricError(f"connection lost: {exc}") from exc
         finally:
             try:
-                self._sock.settimeout(self.timeout)
+                sock.settimeout(self.timeout)
             except OSError:  # pragma: no cover - racing reconnect
                 pass
         if not data:
@@ -353,15 +371,19 @@ class FlowtuneClient:
                 self.reconnect()
                 return False
             raise FabricError("service closed the connection")
-        gen = self._conn_gen
-        for tag, payload in self._buf.feed(data):
-            if tag != TAG_SERVICE:
-                raise WireError(f"unexpected frame tag {tag}")
-            self._handle(payload, updates)
+        with self._send_lock:
             if self._conn_gen != gen:
-                # _handle reconnected mid-iteration: the remaining
-                # frames belong to the dead connection.
-                break
+                # A sender thread reconnected while we were blocked in
+                # recv: these bytes belong to the dead connection.
+                return False
+            for tag, payload in self._buf.feed(data):
+                if tag != TAG_SERVICE:
+                    raise WireError(f"unexpected frame tag {tag}")
+                self._handle(payload, updates)
+                if self._conn_gen != gen:
+                    # _handle reconnected mid-iteration: the remaining
+                    # frames belong to the dead connection.
+                    break
         return True
 
     def _handle(self, payload, updates):
@@ -418,7 +440,8 @@ class FlowtuneClient:
             self._recv_once(remaining, scratch)
         return scratch
 
-    def wait_for_rates(self, flow_ids, timeout=30.0):
+    def wait_for_rates(self, flow_ids: Iterable[int],
+                       timeout: float = 30.0) -> dict[int, float]:
         """Block until every id in ``flow_ids`` has a rate; return a
         ``{fid: rate}`` dict for exactly those ids."""
         pending = set(flow_ids)
@@ -427,7 +450,8 @@ class FlowtuneClient:
                          "flows within timeout")
         return {fid: self._rates[fid] for fid in flow_ids}
 
-    def step(self, n_iters=1, timeout=None):
+    def step(self, n_iters: int = 1,
+             timeout: float | None = None) -> dict[int, float]:
         """Run exactly ``n_iters`` allocator iterations remotely and
         return this client's full rate snapshot (``{fid: rate}``).
 
@@ -435,7 +459,10 @@ class FlowtuneClient:
         sent so far is drained, applied, iterated ``n_iters`` times —
         the same calls an in-process allocator would make, so results
         agree bitwise."""
-        self._last_snapshot = None
+        # Written under the same lock as _handle's SNAPSHOT path so
+        # the arm/receive pair cannot interleave with a reconnect.
+        with self._send_lock:
+            self._last_snapshot = None
         ends_before = list(self._pending_ends)
         self._send(wire.encode_step(max(1, int(n_iters))))
         self._pump_until(lambda: self._last_snapshot is not None,
@@ -448,14 +475,14 @@ class FlowtuneClient:
         return dict(self._last_snapshot)
 
     @property
-    def rates(self):
+    def rates(self) -> dict[int, float]:
         """Latest known rate per flow (a copy; updated by polling)."""
         return dict(self._rates)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def close(self):
+    def close(self) -> None:
         """Say BYE (best-effort) and close the socket.  Idempotent.
 
         BYE ends the session server-side immediately — flows end now,
@@ -474,7 +501,7 @@ class FlowtuneClient:
         except OSError:  # pragma: no cover
             pass
 
-    def kill(self):
+    def kill(self) -> None:
         """Hard-close the socket without BYE — the unreliable-client
         simulator.  The session survives server-side for the grace
         window; :meth:`reconnect` (on this same object) resumes it."""

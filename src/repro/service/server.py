@@ -57,6 +57,8 @@ import sys
 import threading
 import time
 from collections import deque
+from collections.abc import Sequence
+from typing import Any
 
 from ..core import FlowtuneAllocator
 from ..core.allocator import ChurnQueue
@@ -190,13 +192,18 @@ class FlowtuneService:
     :class:`~repro.core.FlowtuneAllocator`.
     """
 
-    def __init__(self, network, *, utility=None, host="127.0.0.1", port=0,
-                 token=None, update_threshold=0.01, gamma=1.0,
-                 max_route_len=8, mode="auto", iters_per_cycle=1,
-                 min_cycle=0.0005, idle_timeout=0.05, quiet_after=3,
-                 send_timeout=10.0, resume_grace=2.0, churn_rate=None,
-                 churn_burst=None, max_pending=None, max_outbox=1 << 23,
-                 sockbuf=None):
+    def __init__(self, network: Any, *, utility: Any = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 token: bytes | str | None = None,
+                 update_threshold: float = 0.01, gamma: float = 1.0,
+                 max_route_len: int = 8, mode: str = "auto",
+                 iters_per_cycle: int = 1, min_cycle: float = 0.0005,
+                 idle_timeout: float = 0.05, quiet_after: int = 3,
+                 send_timeout: float = 10.0, resume_grace: float = 2.0,
+                 churn_rate: float | None = None,
+                 churn_burst: float | None = None,
+                 max_pending: int | None = None, max_outbox: int = 1 << 23,
+                 sockbuf: int | None = None) -> None:
         if mode not in ("auto", "manual"):
             raise ValueError(f"mode must be 'auto' or 'manual', got {mode!r}")
         if max_pending is not None and mode == "manual":
@@ -266,14 +273,14 @@ class FlowtuneService:
     # lifecycle
     # ------------------------------------------------------------------
     @property
-    def token_hex(self):
+    def token_hex(self) -> str:
         return self._token.hex()
 
     @property
-    def n_flows(self):
+    def n_flows(self) -> int:
         return self.allocator.n_flows
 
-    def start(self):
+    def start(self) -> "FlowtuneService":
         """Serve from a daemon thread; returns once the thread runs."""
         with self._lock:
             if self._closed:
@@ -285,7 +292,7 @@ class FlowtuneService:
             self._thread.start()
         return self
 
-    def run(self):
+    def run(self) -> None:
         """Serve in the calling thread until :meth:`close` (or a
         client's SHUTDOWN frame)."""
         with self._lock:
@@ -312,7 +319,11 @@ class FlowtuneService:
                 if self.mode == "auto":
                     self._auto_cycle()
         finally:
-            self._running = False
+            # Same lock as start()/close(): _running is read by other
+            # threads deciding whether a wake is needed, so its writes
+            # all happen under the transition lock.
+            with self._lock:
+                self._running = False
             self._stopped.set()
 
     def _snapshot_pending(self):
@@ -378,7 +389,7 @@ class FlowtuneService:
         self._allocate(self.iters_per_cycle)
         self._last_cycle = time.monotonic()
 
-    def close(self):
+    def close(self) -> None:
         """Stop serving and release the listener, clients, and thread.
 
         Idempotent; safe from any thread and from ``with`` blocks."""
@@ -660,7 +671,8 @@ class FlowtuneService:
         elif kind == wire.BYE:
             self._drop_client(client, session_action="end")
         elif kind == wire.SHUTDOWN:
-            self._running = False
+            with self._lock:
+                self._running = False
         else:
             raise WireError(f"kind {kind} is not valid client->server")
 
@@ -791,7 +803,7 @@ class FlowtuneService:
     def _on_step(self, client, n_iters):
         self._allocate(max(1, n_iters), snapshot_to=client)
 
-    def usage_bytes(self, client_id, fid):
+    def usage_bytes(self, client_id: int, fid: int) -> int | None:
         """Latest usage report for one flow (testing/inspection aid)."""
         return self._usage.get((client_id, fid))
 
@@ -992,11 +1004,16 @@ def _await_ready_line(process, timeout):
     raise RuntimeError(message)
 
 
-def spawn_service(*, racks=3, hosts_per_rack=8, spines=2, mode="auto",
-                  gamma=1.0, update_threshold=0.01, iters_per_cycle=1,
-                  min_cycle=0.0005, host="127.0.0.1", resume_grace=None,
-                  churn_rate=None, churn_burst=None, max_pending=None,
-                  ready_timeout=30.0, extra_args=()):
+def spawn_service(*, racks: int = 3, hosts_per_rack: int = 8,
+                  spines: int = 2, mode: str = "auto", gamma: float = 1.0,
+                  update_threshold: float = 0.01, iters_per_cycle: int = 1,
+                  min_cycle: float = 0.0005, host: str = "127.0.0.1",
+                  resume_grace: float | None = None,
+                  churn_rate: float | None = None,
+                  churn_burst: float | None = None,
+                  max_pending: int | None = None,
+                  ready_timeout: float = 30.0,
+                  extra_args: Sequence[str] = ()) -> "ServiceHandle":
     """Start ``python -m repro.service`` in a child process.
 
     Generates a token, exports it via ``$REPRO_SERVICE_TOKEN`` (never

@@ -38,8 +38,11 @@ even a client that ignores BUSY is throttled by TCP flow control).
 from __future__ import annotations
 
 import struct
+from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from ..control.messages import PAYLOAD_BYTES, MessageType, batched_wire_bytes
 
@@ -114,34 +117,37 @@ _ROUTE_DTYPE = np.dtype(">u4")
 
 
 # encoding --------------------------------------------------------------
-def _hdr(kind):
+def _hdr(kind: int) -> bytes:
     return _HDR.pack(WIRE_VERSION, kind)
 
 
-def encode_hello():
+def encode_hello() -> bytes:
     return _hdr(HELLO)
 
 
-def encode_welcome(client_id, n_links, resume_nonce):
+def encode_welcome(client_id: int, n_links: int,
+                   resume_nonce: int) -> bytes:
     """``resume_nonce`` authenticates later RESUME attempts for this
     session (a random u64; knowing the client_id alone must not let a
     stranger adopt the session's flows)."""
     return _hdr(WELCOME) + _WELCOME.pack(client_id, n_links, resume_nonce)
 
 
-def encode_resume(client_id, resume_nonce, last_applied_seq):
+def encode_resume(client_id: int, resume_nonce: int,
+                  last_applied_seq: int) -> bytes:
     """Re-bind ``client_id``'s session after a dropped connection."""
     return _hdr(RESUME) + _RESUME.pack(client_id, resume_nonce,
                                        last_applied_seq)
 
 
-def encode_busy(retry_after, credit):
+def encode_busy(retry_after: float, credit: int) -> bytes:
     """Backpressure credit reply: churn tokens available again in
     ``retry_after`` seconds, at which point ``credit`` events fit."""
     return _hdr(BUSY) + _BUSY.pack(float(retry_after), int(credit))
 
 
-def encode_start(flows):
+def encode_start(
+        flows: Iterable[tuple[int, npt.ArrayLike, float]]) -> bytes:
     """``flows``: iterable of ``(flow_id, route, weight)``."""
     parts = [_hdr(START), b"\0\0\0\0"]
     count = 0
@@ -154,12 +160,12 @@ def encode_start(flows):
     return b"".join(parts)
 
 
-def encode_end(flow_ids):
+def encode_end(flow_ids: Iterable[int]) -> bytes:
     ids = np.ascontiguousarray(list(flow_ids), dtype=_ID_DTYPE)
     return _hdr(END) + _U32.pack(len(ids)) + ids.tobytes()
 
 
-def encode_usage(reports):
+def encode_usage(reports: Iterable[tuple[int, float]]) -> bytes:
     """``reports``: iterable of ``(flow_id, cumulative_bytes)``."""
     items = list(reports)
     parts = [_hdr(USAGE), _U32.pack(len(items))]
@@ -167,7 +173,8 @@ def encode_usage(reports):
     return b"".join(parts)
 
 
-def _ids_rates(flow_ids, rates):
+def _ids_rates(flow_ids: npt.ArrayLike, rates: npt.ArrayLike,
+               ) -> tuple[npt.NDArray[Any], npt.NDArray[Any]]:
     ids = np.ascontiguousarray(flow_ids, dtype=_ID_DTYPE)
     vals = np.ascontiguousarray(rates, dtype=_RATE_DTYPE)
     if len(ids) != len(vals):
@@ -175,62 +182,66 @@ def _ids_rates(flow_ids, rates):
     return ids, vals
 
 
-def encode_rates(base_seq, seq, flow_ids, rates):
+def encode_rates(base_seq: int, seq: int, flow_ids: npt.ArrayLike,
+                 rates: npt.ArrayLike) -> bytes:
     """Delta rate-update frame: valid only on top of ``base_seq``."""
     ids, vals = _ids_rates(flow_ids, rates)
     return (_hdr(RATES) + _U32x3.pack(base_seq, seq, len(ids))
             + ids.tobytes() + vals.tobytes())
 
 
-def encode_step(n_iters):
+def encode_step(n_iters: int) -> bytes:
     return _hdr(STEP) + _U32.pack(n_iters)
 
 
-def encode_snapshot(seq, flow_ids, rates):
+def encode_snapshot(seq: int, flow_ids: npt.ArrayLike,
+                    rates: npt.ArrayLike) -> bytes:
     ids, vals = _ids_rates(flow_ids, rates)
     return (_hdr(SNAPSHOT) + _U32x2.pack(seq, len(ids))
             + ids.tobytes() + vals.tobytes())
 
 
-def encode_error(message):
+def encode_error(message: object) -> bytes:
     return _hdr(ERROR) + str(message).encode("utf-8", "replace")
 
 
-def encode_bye():
+def encode_bye() -> bytes:
     return _hdr(BYE)
 
 
-def encode_shutdown():
+def encode_shutdown() -> bytes:
     return _hdr(SHUTDOWN)
 
 
-def encode_replay_done():
+def encode_replay_done() -> bytes:
     """Close a resumed connection's reconcile window: everything
     after this frame is live traffic, not journal replay."""
     return _hdr(REPLAY_DONE)
 
 
 # decoding --------------------------------------------------------------
-def _need(payload, offset, n, what):
+def _need(payload: bytes, offset: int, n: int, what: str) -> None:
     if len(payload) - offset < n:
         raise WireError(f"truncated {what}: need {n} bytes at offset "
                         f"{offset}, frame has {len(payload)}")
 
 
-def _exact(payload, offset, what):
+def _exact(payload: bytes, offset: int, what: str) -> None:
     if len(payload) != offset:
         raise WireError(f"{what} frame has {len(payload) - offset} "
                         "trailing bytes")
 
 
-def _read_array(payload, offset, dtype, count, what):
+def _read_array(payload: bytes, offset: int, dtype: np.dtype[Any],
+                count: int, what: str) -> tuple[npt.NDArray[Any], int]:
     n = dtype.itemsize * count
     _need(payload, offset, n, what)
     arr = np.frombuffer(payload, dtype=dtype, count=count, offset=offset)
     return arr.astype(dtype.newbyteorder("=")), offset + n
 
 
-def decode_message(payload):
+def decode_message(payload: bytes | bytearray | memoryview,
+                   ) -> tuple[int, Any]:
     """Parse one TAG_SERVICE payload into ``(kind, body)``.
 
     Raises :class:`WireError` on version skew, unknown kind, or any
@@ -349,15 +360,15 @@ class FrameBuffer:
     frames, so a slow peer can never corrupt framing.
     """
 
-    def __init__(self, max_frame=MAX_FRAME_BYTES):
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
         self._buf = bytearray()
         self._max = max_frame
 
-    def feed(self, data):
+    def feed(self, data: bytes | bytearray) -> list[tuple[int, bytes]]:
         """Append ``data``; return the list of complete ``(tag,
         payload)`` frames it unlocked (possibly empty)."""
         self._buf += data
-        frames = []
+        frames: list[tuple[int, bytes]] = []
         while len(self._buf) >= _FRAME_HEADER.size:
             length, tag = _FRAME_HEADER.unpack_from(self._buf)
             if length > self._max:
@@ -372,7 +383,7 @@ class FrameBuffer:
             frames.append((tag, payload))
         return frames
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._buf)
 
 
@@ -386,7 +397,7 @@ _KIND_TO_MESSAGE = {
 }
 
 
-def paper_wire_bytes(kind, count):
+def paper_wire_bytes(kind: int, count: int) -> int:
     """§6.2 wire bytes for a batch of ``count`` messages of ``kind``.
 
     Batched into one TCP segment, exactly as

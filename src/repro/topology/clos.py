@@ -21,6 +21,7 @@ from __future__ import annotations
 import zlib
 
 import numpy as np
+import numpy.typing as npt
 
 from .graph import LinkKind, Topology
 
@@ -54,10 +55,12 @@ class TwoTierClos(Topology):
         ``fabric_capacity`` is None.
     """
 
-    def __init__(self, n_racks=9, hosts_per_rack=16, n_spines=4,
-                 host_capacity=10.0, fabric_capacity=None,
-                 link_delay=LINK_DELAY_S, host_delay=HOST_DELAY_S,
-                 oversubscription=1.0):
+    def __init__(self, n_racks: int = 9, hosts_per_rack: int = 16,
+                 n_spines: int = 4, host_capacity: float = 10.0,
+                 fabric_capacity: float | None = None,
+                 link_delay: float = LINK_DELAY_S,
+                 host_delay: float = HOST_DELAY_S,
+                 oversubscription: float = 1.0) -> None:
         super().__init__()
         if n_racks < 1 or hosts_per_rack < 1 or n_spines < 1:
             raise ValueError("topology dimensions must be positive")
@@ -102,23 +105,24 @@ class TwoTierClos(Topology):
     # ------------------------------------------------------------------
     # link-index arithmetic
     # ------------------------------------------------------------------
-    def rack_of(self, host):
+    def rack_of(self, host: int) -> int:
         return host // self.hosts_per_rack
 
-    def host_up_link(self, host):
+    def host_up_link(self, host: int) -> int:
         return host
 
-    def host_down_link(self, host):
+    def host_down_link(self, host: int) -> int:
         return self.n_hosts + host
 
-    def fabric_up_link(self, rack, spine):
+    def fabric_up_link(self, rack: int, spine: int) -> int:
         return 2 * self.n_hosts + rack * self.n_spines + spine
 
-    def fabric_down_link(self, rack, spine):
+    def fabric_down_link(self, rack: int, spine: int) -> int:
         return (2 * self.n_hosts + self.n_racks * self.n_spines
                 + rack * self.n_spines + spine)
 
-    def spine_for(self, src_host, dst_host, flow_id=0):
+    def spine_for(self, src_host: int, dst_host: int,
+                  flow_id: object = 0) -> int:
         """Deterministic ECMP hash — stable per flow, spread across flows.
 
         Uses an explicit integer mix rather than Python's ``hash`` so
@@ -134,7 +138,8 @@ class TwoTierClos(Topology):
         key ^= key >> 13
         return key % self.n_spines
 
-    def route(self, src_host, dst_host, flow_id=0):
+    def route(self, src_host: int, dst_host: int,
+              flow_id: object = 0) -> npt.NDArray[np.int64]:
         if src_host == dst_host:
             raise ValueError("source and destination host must differ")
         src_rack = self.rack_of(src_host)
@@ -153,7 +158,7 @@ class TwoTierClos(Topology):
     # ------------------------------------------------------------------
     # block partitioning hooks (§5)
     # ------------------------------------------------------------------
-    def rack_blocks(self, n_blocks):
+    def rack_blocks(self, n_blocks: int) -> list[npt.NDArray[np.int64]]:
         """Split racks into ``n_blocks`` contiguous groups (§5 fig. 2).
 
         Returns a list of rack-index arrays.  Requires ``n_racks %
@@ -166,7 +171,8 @@ class TwoTierClos(Topology):
         per = self.n_racks // n_blocks
         return [np.arange(b * per, (b + 1) * per) for b in range(n_blocks)]
 
-    def upward_link_block(self, racks):
+    def upward_link_block(self, racks: npt.ArrayLike,
+                          ) -> npt.NDArray[np.int64]:
         """All upward links owned by the racks of one block."""
         racks = np.asarray(racks)
         host_ids = np.concatenate([
@@ -177,7 +183,8 @@ class TwoTierClos(Topology):
             for r in racks]).astype(np.int64)
         return np.concatenate([host_ids.astype(np.int64), fabric])
 
-    def downward_link_block(self, racks):
+    def downward_link_block(self, racks: npt.ArrayLike,
+                            ) -> npt.NDArray[np.int64]:
         """All downward links owned by the racks of one block."""
         racks = np.asarray(racks)
         host_ids = np.concatenate([
@@ -189,16 +196,16 @@ class TwoTierClos(Topology):
             for r in racks]).astype(np.int64)
         return np.concatenate([host_ids.astype(np.int64), fabric])
 
-    def two_hop_rtt(self):
+    def two_hop_rtt(self) -> float:
         """Intra-rack RTT: 2 links + both hosts, each way (§6.2 ~14 µs)."""
         return 2 * (2 * self.link_delay + 2 * self.host_delay)
 
-    def four_hop_rtt(self):
+    def four_hop_rtt(self) -> float:
         """Cross-rack RTT: 4 links + both hosts, each way (§6.2 ~22 µs)."""
         return 2 * (4 * self.link_delay + 2 * self.host_delay)
 
 
-def paper_topology():
+def paper_topology() -> TwoTierClos:
     """The exact §6.2 evaluation fabric: 9 racks x 16 hosts, 4 spines."""
     return TwoTierClos(n_racks=9, hosts_per_rack=16, n_spines=4,
                        host_capacity=10.0)

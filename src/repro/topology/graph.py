@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.network import LinkSet
 
@@ -64,32 +65,34 @@ class Topology:
         self.links: list[LinkSpec] = []
         self.n_hosts = 0
 
-    def add_link(self, src, dst, capacity, delay, kind):
+    def add_link(self, src: str, dst: str, capacity: float, delay: float,
+                 kind: LinkKind) -> int:
         spec = LinkSpec(len(self.links), src, dst, float(capacity),
                         float(delay), kind)
         self.links.append(spec)
         return spec.index
 
     @property
-    def n_links(self):
+    def n_links(self) -> int:
         return len(self.links)
 
-    def link_set(self):
+    def link_set(self) -> LinkSet:
         """The :class:`~repro.core.network.LinkSet` view for NUM."""
         return LinkSet(
             np.array([link.capacity for link in self.links]),
             names=[f"{link.src}->{link.dst}" for link in self.links],
         )
 
-    def route(self, src_host: int, dst_host: int, flow_id=0):
+    def route(self, src_host: int, dst_host: int,
+              flow_id: object = 0) -> npt.NDArray[np.int64]:
         """Return the link-index array for a flow (ECMP-stable)."""
         raise NotImplementedError
 
-    def path_delay(self, route):
+    def path_delay(self, route: npt.ArrayLike) -> float:
         """One-way propagation along ``route`` (excl. host processing)."""
         return float(sum(self.links[i].delay for i in route))
 
-    def bisection_capacity(self):
+    def bisection_capacity(self) -> float:
         """Sum of host access-link capacity — the paper's "network
         capacity" denominator for control-overhead fractions."""
         return float(sum(link.capacity for link in self.links

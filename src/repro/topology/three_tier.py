@@ -22,6 +22,7 @@ from __future__ import annotations
 import zlib
 
 import numpy as np
+import numpy.typing as npt
 
 from .graph import LinkKind, Topology
 
@@ -41,10 +42,13 @@ class ThreeTierClos(Topology):
     LinkBlock-style groupings remain expressible.
     """
 
-    def __init__(self, n_pods=2, racks_per_pod=2, hosts_per_rack=4,
-                 n_spines=2, n_core=None, host_capacity=10.0,
-                 fabric_capacity=None, core_capacity=None,
-                 link_delay=1.5e-6, host_delay=2.0e-6):
+    def __init__(self, n_pods: int = 2, racks_per_pod: int = 2,
+                 hosts_per_rack: int = 4, n_spines: int = 2,
+                 n_core: int | None = None, host_capacity: float = 10.0,
+                 fabric_capacity: float | None = None,
+                 core_capacity: float | None = None,
+                 link_delay: float = 1.5e-6,
+                 host_delay: float = 2.0e-6) -> None:
         super().__init__()
         if n_pods < 2:
             raise ValueError("a three-tier fabric needs at least 2 pods")
@@ -115,34 +119,34 @@ class ThreeTierClos(Topology):
     # ------------------------------------------------------------------
     # index arithmetic
     # ------------------------------------------------------------------
-    def pod_of(self, host):
+    def pod_of(self, host: int) -> int:
         return host // self.hosts_per_pod
 
-    def rack_of(self, host):
+    def rack_of(self, host: int) -> int:
         return host // self.hosts_per_rack
 
-    def host_up_link(self, host):
+    def host_up_link(self, host: int) -> int:
         return host
 
-    def host_down_link(self, host):
+    def host_down_link(self, host: int) -> int:
         return self.n_hosts + host
 
-    def tor_spine_link(self, rack, spine):
+    def tor_spine_link(self, rack: int, spine: int) -> int:
         return 2 * self.n_hosts + rack * self.n_spines + spine
 
-    def spine_tor_link(self, rack, spine):
+    def spine_tor_link(self, rack: int, spine: int) -> int:
         return (2 * self.n_hosts + self.n_racks * self.n_spines
                 + rack * self.n_spines + spine)
 
     def _core_base(self):
         return 2 * self.n_hosts + 2 * self.n_racks * self.n_spines
 
-    def spine_core_link(self, pod, spine, k):
+    def spine_core_link(self, pod: int, spine: int, k: int) -> int:
         per_spine = self.n_core // self.n_spines
         return (self._core_base()
                 + (pod * self.n_spines + spine) * per_spine + k)
 
-    def core_spine_link(self, pod, spine, k):
+    def core_spine_link(self, pod: int, spine: int, k: int) -> int:
         per_spine = self.n_core // self.n_spines
         total = self.n_pods * self.n_spines * per_spine
         return (self._core_base() + total
@@ -158,7 +162,8 @@ class ThreeTierClos(Topology):
         key ^= key >> 13
         return key
 
-    def route(self, src_host, dst_host, flow_id=0):
+    def route(self, src_host: int, dst_host: int,
+              flow_id: object = 0) -> npt.NDArray[np.int64]:
         if src_host == dst_host:
             raise ValueError("source and destination host must differ")
         src_rack, dst_rack = self.rack_of(src_host), self.rack_of(dst_host)
@@ -188,7 +193,7 @@ class ThreeTierClos(Topology):
     # ------------------------------------------------------------------
     # the §7 open question, quantified
     # ------------------------------------------------------------------
-    def pod_block_coupling(self):
+    def pod_block_coupling(self) -> float:
         """Fraction of a pod-block's links shared with other pods.
 
         §7: "the links going into and out of a pod are used by all
@@ -203,6 +208,6 @@ class ThreeTierClos(Topology):
                         + self.racks_per_pod * self.n_spines + core_links)
         return core_links / pod_up_links
 
-    def six_hop_rtt(self):
+    def six_hop_rtt(self) -> float:
         """Cross-pod RTT with the same delay accounting as two-tier."""
         return 2 * (6 * self.link_delay + 2 * self.host_delay)

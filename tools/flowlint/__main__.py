@@ -1,0 +1,169 @@
+"""CLI: ``python -m tools.flowlint [paths...]``.
+
+Exit codes: 0 clean (baseline-suppressed findings allowed), 1 new
+findings, 2 internal/usage error.  ``--format github`` emits workflow
+annotation commands; ``--step-summary`` appends a findings table to
+``$GITHUB_STEP_SUMMARY`` via the benchmark report formatter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+from pathlib import Path
+
+from .engine import Baseline, load_project, run_rules
+from .rules import RULE_DOCS
+
+_DEFAULT_PATHS = ["src", "tests", "tools"]
+
+
+def _load_report_module(root: Path):
+    """benchmarks/report.py, loaded by path (it is not a package)."""
+    path = root / "benchmarks" / "report.py"
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location("_flowlint_report", path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        return None
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception:  # pragma: no cover - report helper is optional
+        return None
+    return module
+
+
+def _emit_step_summary(root: Path, new, suppressed, stale) -> None:
+    report = _load_report_module(root)
+    headers = ["rule", "location", "finding"]
+    rows = [[d.rule, f"{d.path}:{d.line}", d.message] for d in new]
+    if report is not None and hasattr(report, "format_table"):
+        table = report.format_table(headers, rows or
+                                    [["—", "—", "no new findings"]],
+                                    markdown=True)
+    else:  # pragma: no cover - fallback when report.py moves
+        lines = ["| " + " | ".join(headers) + " |",
+                 "|" + "---|" * len(headers)]
+        lines += ["| " + " | ".join(str(c) for c in row) + " |"
+                  for row in (rows or [["—", "—", "no new findings"]])]
+        table = "\n".join(lines)
+    summary = (f"### flowlint\n\n{len(new)} new finding(s), "
+               f"{len(suppressed)} baseline-suppressed, "
+               f"{len(stale)} stale baseline entr(y/ies)\n\n{table}\n")
+    if report is not None and hasattr(report, "write_step_summary"):
+        report.write_step_summary(summary)
+    else:  # pragma: no cover
+        target = os.environ.get("GITHUB_STEP_SUMMARY")
+        if target:
+            with open(target, "a", encoding="utf-8") as fh:
+                fh.write(summary)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.flowlint",
+        description="Repo-aware static analysis for the Flowtune "
+                    "reproduction (FL-DET/LIFE/WIRE/LOCK/API).")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to scan "
+                             f"(default: {' '.join(_DEFAULT_PATHS)})")
+    parser.add_argument("--root", default=".",
+                        help="project root diagnostics are relative to")
+    parser.add_argument("--baseline", default="tools/flowlint/baseline.json",
+                        help="baseline suppression file "
+                             "('none' disables)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current "
+                             "finding set and exit 0")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text")
+    parser.add_argument("--step-summary", action="store_true",
+                        help="append a findings table to "
+                             "$GITHUB_STEP_SUMMARY")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on stale baseline entries")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULE_DOCS):
+            print(f"{rule}  {RULE_DOCS[rule]}")
+        return 0
+
+    root = Path(args.root).resolve()
+    paths = args.paths or [p for p in _DEFAULT_PATHS
+                           if (root / p).exists()]
+    try:
+        project = load_project(root, paths)
+    except OSError as exc:
+        print(f"flowlint: cannot load project: {exc}", file=sys.stderr)
+        return 2
+    diags = run_rules(project)
+
+    baseline_path = None if args.baseline == "none" \
+        else root / args.baseline
+    if args.update_baseline:
+        if baseline_path is None:
+            print("flowlint: --update-baseline needs a baseline path",
+                  file=sys.stderr)
+            return 2
+        existing = Baseline.load(baseline_path)
+        justified = {existing._key(e): e.get("justification", "")
+                     for e in existing.entries}
+        updated = Baseline.from_diagnostics(diags)
+        for entry in updated.entries:
+            prior = justified.get(Baseline._key(entry))
+            if prior:
+                entry["justification"] = prior
+        updated.save(baseline_path)
+        print(f"flowlint: baseline rewritten with {len(diags)} entr(y/ies)"
+              f" -> {baseline_path}")
+        return 0
+
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    new, suppressed, stale = baseline.apply(diags)
+
+    if args.format == "json":
+        print(json.dumps({
+            "new": [vars(d) for d in new],
+            "suppressed": [vars(d) for d in suppressed],
+            "stale_baseline_entries": stale,
+        }, indent=2))
+    else:
+        for diag in new:
+            if args.format == "github":
+                print(f"::error file={diag.path},line={diag.line},"
+                      f"title={diag.rule}::{diag.message}")
+            else:
+                print(diag.render())
+        for entry in stale:
+            print(f"flowlint: stale baseline entry (fixed? remove it): "
+                  f"{entry.get('rule')} {entry.get('path')}: "
+                  f"{entry.get('message')}", file=sys.stderr)
+        if new:
+            print(f"\nflowlint: {len(new)} new finding(s) "
+                  f"({len(suppressed)} baseline-suppressed). "
+                  "Fix them, add a `# flowlint: disable=RULE` pragma "
+                  "with a reason, or (pre-existing only) baseline them.",
+                  file=sys.stderr)
+        else:
+            print(f"flowlint: clean ({len(diags)} finding(s) total, "
+                  f"{len(suppressed)} baseline-suppressed, "
+                  f"{len(stale)} stale).")
+
+    if args.step_summary:
+        _emit_step_summary(root, new, suppressed, stale)
+
+    if new:
+        return 1
+    if stale and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

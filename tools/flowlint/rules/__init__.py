@@ -1,0 +1,17 @@
+"""Rule registry: five families, one ``check(project)`` each."""
+
+from __future__ import annotations
+
+from . import api, determinism, lifecycle, locks, wire
+
+_FAMILIES = (determinism, lifecycle, wire, locks, api)
+
+#: Every rule family's entry point, in reporting order.
+ALL_RULES = tuple(family.check for family in _FAMILIES)
+
+#: rule id -> one-line description (CLI --list-rules, README table).
+RULE_DOCS: dict[str, str] = {}
+for _family in _FAMILIES:
+    RULE_DOCS.update(_family.RULES)
+
+__all__ = ["ALL_RULES", "RULE_DOCS"]

@@ -1,0 +1,55 @@
+"""Shared AST helpers for the flowlint rule families."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "call_name", "dotted", "iter_class_functions", "iter_classes",
+    "iter_functions", "timeout_given",
+]
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of a call's callee (None for computed callees)."""
+    return dotted(call.func)
+
+
+def iter_classes(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def iter_functions(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def iter_class_functions(cls: ast.ClassDef):
+    """Methods defined directly on the class (not nested functions)."""
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def timeout_given(call: ast.Call) -> bool:
+    """True when a call passes any positional argument or a
+    ``timeout=`` keyword — i.e. ``join(5)``, ``wait(timeout=1)``,
+    ``select(0.2)`` are bounded; ``join()``/``wait()`` are not."""
+    if call.args:
+        return True
+    return any(kw.arg == "timeout" for kw in call.keywords)

@@ -1,0 +1,179 @@
+"""FL-API — facade hygiene for the ``repro`` top-level namespace.
+
+The top-level namespace is the supported public API; everything in it
+must be deliberate and typed:
+
+FL-API001
+    ``__all__`` and the facade imports must agree both ways: every
+    ``__all__`` name resolves to an import/definition, every imported
+    public name is in ``__all__``.
+FL-API002
+    Every function/class reachable from the facade carries full type
+    annotations — parameters and returns on functions, ``__init__``
+    and public methods on classes (``__init__`` may omit its return).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Diagnostic, Module, Project
+from ._util import iter_class_functions
+
+RULES = {
+    "FL-API001": "facade __all__ / import mismatch",
+    "FL-API002": "facade-reachable symbol lacks type annotations",
+}
+
+_ROOT_INIT = "repro/__init__.py"
+
+
+def _all_names(tree: ast.Module) -> tuple[list[str], int] | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == "__all__" \
+                and isinstance(node.value, (ast.List, ast.Tuple)):
+            names = [e.value for e in node.value.elts
+                     if isinstance(e, ast.Constant)
+                     and isinstance(e.value, str)]
+            return names, node.lineno
+    return None
+
+
+def _imports(tree: ast.Module) -> dict[str, tuple[str, int]]:
+    """name -> (relative module path, line) for ``from .x import y``."""
+    table: dict[str, tuple[str, int]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.level >= 1:
+            mod = (node.module or "").replace(".", "/")
+            for alias in node.names:
+                table[alias.asname or alias.name] = (mod, node.lineno)
+    return table
+
+
+def _module_for(project: Project, base: Module, relmod: str,
+                ) -> Module | None:
+    """Resolve a level-1 relative import against ``base``'s package."""
+    pkg_dir = "/".join(base.rel.split("/")[:-1])
+    prefix = f"{pkg_dir}/{relmod}" if relmod else pkg_dir
+    for candidate in (prefix + ".py", prefix + "/__init__.py"):
+        module = next((m for m in project.modules if m.rel == candidate),
+                      None)
+        if module is not None:
+            return module
+    return None
+
+
+def _find_def(tree: ast.Module, name: str):
+    for node in tree.body:
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)) and node.name == name:
+            return node
+    return None
+
+
+def _resolve(project: Project, module: Module, name: str, depth: int = 0):
+    """Follow re-exports to the defining module; returns
+    ``(module, def_node)`` or ``(None, None)``."""
+    if depth > 4:
+        return None, None
+    node = _find_def(module.tree, name)
+    if node is not None:
+        return module, node
+    target = _imports(module.tree).get(name)
+    if target is None:
+        return None, None
+    sub = _module_for(project, module, target[0])
+    if sub is None:
+        return None, None
+    return _resolve(project, sub, name, depth + 1)
+
+
+def _unannotated(fn: ast.FunctionDef) -> list[str]:
+    """Names of parameters lacking annotations (+ "return")."""
+    missing = []
+    args = fn.args
+    all_args = list(args.posonlyargs) + list(args.args) \
+        + list(args.kwonlyargs)
+    for i, arg in enumerate(all_args):
+        if i == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if fn.returns is None and fn.name != "__init__":
+        missing.append("return")
+    return missing
+
+
+def check(project: Project) -> list[Diagnostic]:
+    # Prefer the shortest match (the real package root, not a fixture
+    # nested deeper).
+    candidates = [m for m in project.modules if m.rel.endswith(_ROOT_INIT)]
+    root = min(candidates, key=lambda m: len(m.rel), default=None)
+    if root is None:
+        return []
+    diags: list[Diagnostic] = []
+    allspec = _all_names(root.tree)
+    imports = _imports(root.tree)
+    if allspec is None:
+        return [Diagnostic("FL-API001", root.rel, 1,
+                           "facade module defines no __all__ list")]
+    names, all_line = allspec
+
+    # FL-API001 — both directions.
+    module_defs = {n.name for n in root.tree.body
+                   if isinstance(n, (ast.ClassDef, ast.FunctionDef))}
+    assigned = {t.id for n in root.tree.body if isinstance(n, ast.Assign)
+                for t in n.targets if isinstance(t, ast.Name)}
+    for name in names:
+        if name in imports or name in module_defs or name in assigned:
+            continue
+        diags.append(Diagnostic(
+            "FL-API001", root.rel, all_line,
+            f"__all__ lists {name!r} but the facade neither imports "
+            "nor defines it"))
+    for name, (_, line) in sorted(imports.items()):
+        if not name.startswith("_") and name not in names:
+            diags.append(Diagnostic(
+                "FL-API001", root.rel, line,
+                f"facade imports {name!r} but __all__ omits it"))
+
+    # FL-API002 — annotations on everything reachable.
+    for name in names:
+        if name.startswith("_") or name not in imports:
+            continue
+        target_module, node = _resolve(project, root, name)
+        if target_module is None:
+            diags.append(Diagnostic(
+                "FL-API001", root.rel, imports[name][1],
+                f"facade name {name!r} does not resolve to a "
+                "definition in the project"))
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            missing = _unannotated(node)
+            if missing:
+                diags.append(Diagnostic(
+                    "FL-API002", target_module.rel, node.lineno,
+                    f"public function {name}() is missing annotations "
+                    f"for: {', '.join(missing)}"))
+        elif isinstance(node, ast.ClassDef):
+            for fn in iter_class_functions(node):
+                public = not fn.name.startswith("_") \
+                    or fn.name == "__init__"
+                if not public:
+                    continue
+                if any(isinstance(d, ast.Name) and d.id == "overload"
+                       for d in fn.decorator_list):
+                    continue
+                missing = _unannotated(fn)
+                if missing:
+                    diags.append(Diagnostic(
+                        "FL-API002", target_module.rel, fn.lineno,
+                        f"{name}.{fn.name}() is missing annotations "
+                        f"for: {', '.join(missing)}"))
+    return diags

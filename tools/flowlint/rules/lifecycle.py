@@ -1,0 +1,203 @@
+"""FL-LIFE — the resource-lifecycle contract.
+
+Every resource owner in this repo promises the same thing (and
+``tests/test_lifecycle.py`` asserts it at runtime): context-manager
+usable, idempotent ``close()``, nothing leaked.  These rules enforce
+the structural half of that promise:
+
+FL-LIFE001
+    A class that constructs an OS resource (socket, ``SharedMemory``,
+    ``Thread``, ``Popen``, ``Process``, selector, pipe) must define
+    ``close()``.
+FL-LIFE002
+    A *public* resource-owning class must additionally be a context
+    manager (``__enter__`` + ``__exit__``) — the repo-wide contract
+    the facade documents.
+FL-LIFE003
+    A function-local resource that never escapes (returned, stored,
+    passed on, registered) and is never released (``close``/``join``/
+    ``terminate``/…, ``with``, ``finally``) is a leak.
+FL-LIFE004
+    ``__exit__`` on a resource owner must delegate to ``close()`` —
+    two cleanup paths drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Diagnostic, Module, Project
+from ._util import call_name, iter_class_functions, iter_classes
+
+RULES = {
+    "FL-LIFE001": "resource-owning class without close()",
+    "FL-LIFE002": "public resource-owning class without __enter__/__exit__",
+    "FL-LIFE003": "function-local resource acquired but never released",
+    "FL-LIFE004": "__exit__ does not delegate to close()",
+}
+
+_SCOPE = ("repro", "tools")
+
+#: Call names (last dotted component) that acquire an OS resource.
+RESOURCE_CTORS = {
+    "socket", "socketpair", "create_connection", "connect_retry",
+    "SharedMemory", "Thread", "Popen", "Process", "DefaultSelector",
+}
+#: Method calls that count as releasing a resource.
+RELEASE_CALLS = {
+    "close", "join", "terminate", "kill", "unlink", "shutdown",
+    "detach", "release", "stop",
+}
+
+
+def _is_resource_ctor(call: ast.Call) -> bool:
+    name = call_name(call)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1]
+    if last not in RESOURCE_CTORS:
+        return False
+    # `os.path.join`-style false friends: none of the ctor names
+    # collide with common helpers, but `socket.socket()` vs a local
+    # function named `socket` is accepted — the scope filter keeps
+    # this to repo packages where the convention holds.
+    return True
+
+
+def check(project: Project) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for module in project.modules:
+        if not module.in_pkg(*_SCOPE):
+            continue
+        diags.extend(_check_classes(module))
+        diags.extend(_check_locals(module))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# class-level contract
+# ----------------------------------------------------------------------
+
+def _class_constructs_resource(cls: ast.ClassDef) -> int | None:
+    """Line of the first resource construction inside the class."""
+    for fn in iter_class_functions(cls):
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and _is_resource_ctor(node):
+                return node.lineno
+    return None
+
+
+def _check_classes(module: Module) -> list[Diagnostic]:
+    diags = []
+    for cls in iter_classes(module.tree):
+        line = _class_constructs_resource(cls)
+        if line is None:
+            continue
+        defined = {fn.name for fn in iter_class_functions(cls)}
+        public = not cls.name.startswith("_")
+        # Private worker-protocol classes may release through their
+        # protocol verb (`shutdown`/`stop`); public owners must carry
+        # the facade's close() contract.
+        release_verbs = {"close"} if public else {"close", "shutdown",
+                                                  "stop"}
+        if not release_verbs & defined:
+            diags.append(Diagnostic(
+                "FL-LIFE001", module.rel, cls.lineno,
+                f"class {cls.name} constructs an OS resource (line "
+                f"{line}) but defines no close()"))
+            continue
+        if public and not {"__enter__", "__exit__"} <= defined:
+            diags.append(Diagnostic(
+                "FL-LIFE002", module.rel, cls.lineno,
+                f"public resource owner {cls.name} is not a context "
+                "manager (missing __enter__/__exit__)"))
+        if "__exit__" in defined:
+            exit_fn = next(fn for fn in iter_class_functions(cls)
+                           if fn.name == "__exit__")
+            if not _calls_close(exit_fn):
+                diags.append(Diagnostic(
+                    "FL-LIFE004", module.rel, exit_fn.lineno,
+                    f"{cls.name}.__exit__ does not call close(): two "
+                    "cleanup paths will drift apart"))
+    return diags
+
+
+def _calls_close(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = call_name(node) or ""
+            if name.rsplit(".", 1)[-1] == "close":
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# function-local leaks
+# ----------------------------------------------------------------------
+
+def _check_locals(module: Module) -> list[Diagnostic]:
+    diags = []
+    for fn in _all_functions(module.tree):
+        diags.extend(_check_function_locals(module, fn))
+    return diags
+
+
+def _all_functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _check_function_locals(module: Module, fn: ast.FunctionDef,
+                           ) -> list[Diagnostic]:
+    acquisitions: dict[str, int] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Call) \
+                and _is_resource_ctor(node.value):
+            acquisitions[node.targets[0].id] = node.lineno
+    if not acquisitions:
+        return []
+    released = _released_names(fn)
+    return [Diagnostic(
+        "FL-LIFE003", module.rel, line,
+        f"local resource `{name}` in {fn.name}() is neither released "
+        "nor handed off (no close/join/with/return/store)")
+        for name, line in acquisitions.items() if name not in released]
+
+
+def _released_names(fn: ast.FunctionDef) -> set[str]:
+    """Names that escape the function or are explicitly released."""
+    released: set[str] = set()
+
+    def mark(node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                released.add(sub.id)
+
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)) \
+                and getattr(node, "value", None) is not None:
+            mark(node.value)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                mark(item.context_expr)
+        elif isinstance(node, ast.Call):
+            # passed to another callable (ownership handed off) ...
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                mark(arg)
+            # ... or explicitly released: `var.close()`, `var.join()`.
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in RELEASE_CALLS \
+                    and isinstance(node.func.value, ast.Name):
+                released.add(node.func.value.id)
+        elif isinstance(node, ast.Assign):
+            # stored onto an object/container, or re-bound into a
+            # tuple/list that escapes: treat value names as escaping
+            # when the target is not a plain local name.
+            if not all(isinstance(t, ast.Name) for t in node.targets):
+                mark(node.value)
+        elif isinstance(node, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+            mark(node)
+    return released

@@ -1,0 +1,292 @@
+"""FL-LOCK — concurrency discipline around locks and duty cycles.
+
+The service threading model is: one selectors thread owns the duty
+cycle (``FlowtuneService.run``), client threads own their send path,
+and every attribute both sides touch is guarded by the owning lock.
+The client mirrors it with ``_send_lock`` (reconnect can be triggered
+from either side).  Rules:
+
+FL-LOCK001
+    Blocking call (``sendall``, unbounded ``join``/``wait``, ``recv``
+    without a timeout discipline, ``sleep``, a blocking dial) while a
+    lock is held — everything else queued on that lock stalls.
+    ``cond.wait()`` *on the held lock itself* is exempt: condition
+    variables release their lock while waiting.
+FL-LOCK002
+    Blocking call reachable from a selectors duty cycle (a ``run``
+    method driving ``.select()``): one slow peer must never stall the
+    cycle — that is the PR 7 outbox/backpressure contract.
+FL-LOCK003
+    An attribute written both under a lock and outside it (outside
+    ``__init__``): either every writer holds the lock or the lock is
+    decoration.  A method whose every intra-class call site sits in a
+    locked region is itself treated as locked (one-level contextual
+    propagation, iterated to fixpoint).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..engine import Diagnostic, Module, Project
+from ._util import call_name, dotted, iter_class_functions, iter_classes, \
+    timeout_given
+
+RULES = {
+    "FL-LOCK001": "blocking call while holding a lock",
+    "FL-LOCK002": "blocking call inside a selectors duty cycle",
+    "FL-LOCK003": "attribute written both under a lock and outside it",
+}
+
+_SCOPE = ("repro",)
+
+_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+#: Socket-ish calls that block unless a timeout discipline is visible.
+_SOCKET_BLOCKING = {"recv", "recvfrom", "recv_into", "accept"}
+#: Calls that block unconditionally.
+_ALWAYS_BLOCKING = {"sendall", "sleep", "create_connection",
+                    "connect_retry", "connect"}
+#: Calls that block unless called with a timeout argument.
+_NEEDS_TIMEOUT = {"join", "wait", "select"}
+
+
+@dataclass
+class _Site:
+    """One interesting node inside a method, with its lock context."""
+
+    node: ast.AST
+    line: int
+    lock: str | None      # held lock attr ("self._lock") or None
+
+
+@dataclass
+class _MethodFacts:
+    name: str
+    fn: ast.FunctionDef
+    attr_writes: list[tuple[str, _Site]] = field(default_factory=list)
+    self_calls: list[tuple[str, _Site]] = field(default_factory=list)
+    blocking: list[tuple[str, ast.Call, _Site]] = field(default_factory=list)
+    has_timeout_discipline: bool = False   # settimeout/setblocking seen
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    locks: set[str] = set()
+    for fn in iter_class_functions(cls):
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Attribute) \
+                    and isinstance(node.targets[0].value, ast.Name) \
+                    and node.targets[0].value.id == "self" \
+                    and isinstance(node.value, ast.Call):
+                name = call_name(node.value) or ""
+                if name.rsplit(".", 1)[-1] in _LOCK_CTORS:
+                    locks.add(node.targets[0].attr)
+    return locks
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Single pass over one method, tracking the held-lock context."""
+
+    def __init__(self, facts: _MethodFacts, locks: set[str]):
+        self.facts = facts
+        self.locks = locks
+        self.held: list[str] = []
+
+    def _current(self) -> str | None:
+        return self.held[-1] if self.held else None
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = None
+        for item in node.items:
+            name = dotted(item.context_expr)
+            if name is None and isinstance(item.context_expr, ast.Call):
+                name = dotted(item.context_expr.func)
+            if name and name.startswith("self.") \
+                    and name.split(".")[1] in self.locks:
+                acquired = name
+        for item in node.items:
+            self.visit(item.context_expr)
+        if acquired:
+            self.held.append(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    def _site(self, node: ast.AST) -> _Site:
+        return _Site(node=node, line=getattr(node, "lineno", 0),
+                     lock=self._current())
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target, node)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target, node)
+        self.visit(node.value)
+
+    def _record_target(self, target: ast.AST, stmt: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(elt, stmt)
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            self.facts.attr_writes.append((target.attr, self._site(stmt)))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node) or ""
+        last = name.rsplit(".", 1)[-1]
+        if last in ("settimeout", "setblocking"):
+            self.facts.has_timeout_discipline = True
+        if name.startswith("self.") and name.count(".") == 1:
+            self.facts.self_calls.append((name.split(".")[1],
+                                          self._site(node)))
+        if self._is_blocking(node, name, last):
+            self.facts.blocking.append((last, node, self._site(node)))
+        self.generic_visit(node)
+
+    def _is_blocking(self, node: ast.Call, name: str, last: str) -> bool:
+        if last in _ALWAYS_BLOCKING:
+            # `time.sleep` / bare `sleep`; dials; sendall.
+            return True
+        if last in _SOCKET_BLOCKING:
+            return True   # may be waived later by timeout discipline
+        if last in _NEEDS_TIMEOUT and not timeout_given(node):
+            held = self._current()
+            if last == "wait" and held is not None \
+                    and (name == held + ".wait"
+                         or name.startswith(held + ".")):
+                return False    # cond.wait() releases the held lock
+            return True
+        return False
+
+
+def _scan_class(cls: ast.ClassDef, locks: set[str],
+                ) -> dict[str, _MethodFacts]:
+    facts: dict[str, _MethodFacts] = {}
+    for fn in iter_class_functions(cls):
+        mf = _MethodFacts(name=fn.name, fn=fn)
+        _MethodScanner(mf, locks).visit(fn)
+        facts[fn.name] = mf
+    return facts
+
+
+def _locked_methods(facts: dict[str, _MethodFacts]) -> set[str]:
+    """Methods whose every intra-class call site is in a locked
+    region (lexically, or inside an already-locked method)."""
+    call_sites: dict[str, list[tuple[str, _Site]]] = {}
+    for mf in facts.values():
+        for callee, site in mf.self_calls:
+            call_sites.setdefault(callee, []).append((mf.name, site))
+    locked: set[str] = set()
+    for _ in range(len(facts) + 1):
+        changed = False
+        for name, sites in call_sites.items():
+            if name in locked or name not in facts or name == "__init__":
+                continue
+            if all(site.lock is not None or caller in locked
+                   for caller, site in sites):
+                locked.add(name)
+                changed = True
+        if not changed:
+            break
+    return locked
+
+
+def check(project: Project) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for module in project.modules:
+        if not module.in_pkg(*_SCOPE):
+            continue
+        for cls in iter_classes(module.tree):
+            diags.extend(_check_class(module, cls))
+    return diags
+
+
+def _check_class(module: Module, cls: ast.ClassDef) -> list[Diagnostic]:
+    diags = []
+    locks = _lock_attrs(cls)
+    facts = _scan_class(cls, locks)
+    class_nonblocking = any(
+        isinstance(node, ast.Call)
+        and (call_name(node) or "").endswith("setblocking")
+        and node.args and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value is False
+        for fn in iter_class_functions(cls) for node in ast.walk(fn))
+
+    # FL-LOCK001 — blocking while holding a lock.
+    if locks:
+        for mf in facts.values():
+            for kind, _call, site in mf.blocking:
+                if site.lock is None:
+                    continue
+                if kind in _SOCKET_BLOCKING and \
+                        (mf.has_timeout_discipline or class_nonblocking):
+                    continue
+                diags.append(Diagnostic(
+                    "FL-LOCK001", module.rel, site.line,
+                    f"blocking `{kind}` while holding {site.lock}: "
+                    "everything queued on the lock stalls"))
+
+    # FL-LOCK002 — blocking inside a selectors duty cycle.
+    run = facts.get("run")
+    if run is not None and any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "select"
+            for node in ast.walk(run.fn)):
+        reachable = _reachable(facts, "run")
+        for name in sorted(reachable):
+            mf = facts[name]
+            for kind, _call, site in mf.blocking:
+                if kind in _SOCKET_BLOCKING and \
+                        (class_nonblocking or mf.has_timeout_discipline):
+                    continue
+                if kind == "select":
+                    continue    # the cycle's own bounded select
+                diags.append(Diagnostic(
+                    "FL-LOCK002", module.rel, site.line,
+                    f"blocking `{kind}` in {cls.name}.{name}() is "
+                    "reachable from the run() duty cycle: one slow "
+                    "peer stalls every client"))
+
+    # FL-LOCK003 — dual-context attribute writes.
+    if locks:
+        locked_ctx = _locked_methods(facts)
+        sites_by_attr: dict[str, list[tuple[str, _Site, bool]]] = {}
+        for mf in facts.values():
+            if mf.name == "__init__":
+                continue
+            for attr, site in mf.attr_writes:
+                is_locked = site.lock is not None or mf.name in locked_ctx
+                sites_by_attr.setdefault(attr, []).append(
+                    (mf.name, site, is_locked))
+        for attr, sites in sorted(sites_by_attr.items()):
+            if attr in locks:
+                continue
+            has_locked = any(locked for _, _, locked in sites)
+            unlocked = [(m, s) for m, s, locked in sites if not locked]
+            if has_locked and unlocked:
+                for method, site in unlocked:
+                    diags.append(Diagnostic(
+                        "FL-LOCK003", module.rel, site.line,
+                        f"self.{attr} is written under a lock elsewhere "
+                        f"in {cls.name} but not in {method}()"))
+    return diags
+
+
+def _reachable(facts: dict[str, _MethodFacts], start: str) -> set[str]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        name = frontier.pop()
+        for callee, _ in facts[name].self_calls:
+            if callee in facts and callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return seen
