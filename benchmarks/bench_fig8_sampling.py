@@ -1,0 +1,119 @@
+"""Fig. 8-style FCT comparison of the three allocation schemes.
+
+The paper's fig. 8 compares Flowtune's FCTs against schemes that do
+not centrally price every flowlet.  This benchmark runs the same
+comparison across this repo's three scheduler modes on the fluid
+model — full Flowtune pricing, sieve-sampled pricing (elephants only)
+and pure ECMP fair share — replaying the identical Poisson flowlet
+sequence under each, and records p50/p99 FCT next to the priced-set
+size that bought them.
+
+Expected shape (small scale, web @ 0.8): full pricing wins the tail,
+ECMP trails it slightly, and the sampled scheme lands near ECMP while
+pricing only ~a quarter of the live flows — the priced set is what
+the 100k-flow churn benchmark shows the allocator's cost scales with.
+
+Run as a script to (re)generate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_fig8_sampling.py \
+        [out.json]
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from _common import SCALE, bench_environment, report
+
+#: One committed configuration — knobs the artifact records verbatim.
+CONFIG = {
+    "workload": "web",
+    "load": 0.8,
+    "seed": 0,
+    "promote_bytes": 50e3,
+    "idle_epochs": 100,
+}
+
+
+def run_fct_by_scheme():
+    from repro.fluid.experiments import fct_by_scheme
+
+    return fct_by_scheme(
+        workload=CONFIG["workload"], load=CONFIG["load"],
+        duration=SCALE.fluid_duration, warmup=SCALE.fluid_warmup,
+        seed=CONFIG["seed"],
+        n_racks=SCALE.n_racks, hosts_per_rack=SCALE.hosts_per_rack,
+        n_spines=SCALE.n_spines,
+        scheduler_kwargs={"sampled": {
+            "promote_bytes": CONFIG["promote_bytes"],
+            "idle_epochs": CONFIG["idle_epochs"],
+        }})
+
+
+def _format(results):
+    rows = [f"{'scheme':>9}  {'done':>5}  {'p50 us':>8}  {'p99 us':>8}  "
+            f"{'priced':>6}"]
+    for scheme, r in results.items():
+        p50 = "-" if r["p50_fct_us"] is None else f"{r['p50_fct_us']:8.1f}"
+        p99 = "-" if r["p99_fct_us"] is None else f"{r['p99_fct_us']:8.1f}"
+        rows.append(f"{scheme:>9}  {r['n_completed']:5d}  {p50:>8}  "
+                    f"{p99:>8}  {100 * r['priced_fraction_end']:5.0f}%")
+    return "\n".join(rows)
+
+
+def test_fct_by_scheme(benchmark):
+    results = benchmark.pedantic(run_fct_by_scheme, rounds=1, iterations=1)
+    report(f"\n[fig 8/sampling] p99 FCT by scheme, "
+           f"{CONFIG['workload']} @ {CONFIG['load']} ({SCALE.name})\n"
+           + _format(results))
+
+    # Shape assertions (generous — the fluid model at small scale).
+    for scheme, r in results.items():
+        assert r["n_completed"] > 0, scheme
+        assert r["p99_fct_us"] is not None, scheme
+        # No scheme melts down: the completed population dominates
+        # whatever is still in flight when the horizon ends.
+        assert r["n_active_end"] < r["n_completed"], scheme
+    done = [r["n_completed"] for r in results.values()]
+    assert max(done) <= 1.25 * min(done), "same arrivals, similar completions"
+    # Full pricing holds the best tail; the sampled scheme stays in
+    # its neighbourhood while pricing a strict subset of the flows.
+    flowtune, sampled = results["flowtune"], results["sampled"]
+    assert flowtune["p99_fct_us"] <= 1.2 * min(
+        r["p99_fct_us"] for r in results.values())
+    assert sampled["p99_fct_us"] <= 3.0 * flowtune["p99_fct_us"]
+    assert sampled["priced_fraction_end"] <= 0.75
+    assert results["ecmp"]["n_priced_end"] == 0
+
+
+def main(argv):
+    out = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "fig8_sampling.json")
+    results = run_fct_by_scheme()
+    payload = {
+        "figure": "fig8-sampling",
+        "description": "p99 FCT of full Flowtune pricing vs sieve-sampled "
+                       "pricing vs pure ECMP on the same Poisson flowlet "
+                       "sequence (fluid model, two-tier Clos)",
+        "scale": SCALE.name,
+        "topology": {"n_racks": SCALE.n_racks,
+                     "hosts_per_rack": SCALE.hosts_per_rack,
+                     "n_spines": SCALE.n_spines},
+        "duration_s": SCALE.fluid_duration,
+        "warmup_s": SCALE.fluid_warmup,
+        "config": CONFIG,
+        "environment": bench_environment(),
+        "schemes": results,
+    }
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(_format(results))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(__file__))
+    main(sys.argv)

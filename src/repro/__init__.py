@@ -25,6 +25,10 @@ Subpackages hold the deeper surface:
 
 ``repro.core``
     NED and the compared optimizers, U/F-NORM, the allocator.
+``repro.sampling``
+    Sieve-style sampling: elephants priced, mice on ECMP, and the
+    ``RateScheduler`` protocol / ``make_scheduler`` factory that
+    unify full Flowtune, sampled Flowtune and pure ECMP.
 ``repro.parallel``
     The FlowBlock/LinkBlock multicore partitioning (§5).
 ``repro.service``
@@ -56,6 +60,9 @@ from .core import (AllocationResult, AlphaFairUtility, ChurnQueue,
 # the multicore engine and its fabrics
 from .parallel import (FabricError, LocalCluster, MulticoreNedEngine,
                        SharedMemoryFabric, SocketFabric)
+# the sampling front-end and the scheduler protocol
+from .sampling import (EcmpScheduler, ElephantDetector, RateScheduler,
+                       SampledAllocator, make_scheduler)
 # the always-on service
 from .service import (FlowtuneClient, FlowtuneService, ServiceError,
                       spawn_service)
@@ -71,6 +78,9 @@ __all__ = [
     # parallel
     "MulticoreNedEngine", "LocalCluster",
     "SharedMemoryFabric", "SocketFabric", "FabricError",
+    # sampling
+    "RateScheduler", "SampledAllocator", "EcmpScheduler",
+    "ElephantDetector", "make_scheduler",
     # service
     "FlowtuneService", "FlowtuneClient", "ServiceError", "spawn_service",
     # topology

@@ -20,9 +20,10 @@ tick.
 
 from __future__ import annotations
 
-from ..core.allocator import FlowtuneAllocator
 from ..core.ned import NedOptimizer
 from ..core.normalization import FNormalizer
+from ..sampling import make_scheduler
+from ..sampling.scheduler import RateScheduler
 from ..sim.devices import Device
 from ..sim.packet import Packet
 from .endpoint import control_frame_bytes
@@ -38,7 +39,8 @@ MAX_ORPHAN_TICKS = 64
 class AllocatorNode(Device):
     """The centralized allocator as a network-attached device."""
 
-    def __init__(self, network, allocator: FlowtuneAllocator | None = None):
+    def __init__(self, network, allocator: RateScheduler | None = None,
+                 mode: str | None = None):
         self.network = network
         self.sim = network.sim
         self.config = network.config
@@ -53,12 +55,21 @@ class AllocatorNode(Device):
             # the near-empty queues §6.5 measures.
             links = topology.link_set()
             links.capacity *= 1.0 - self.config.allocator_capacity_margin
-            allocator = FlowtuneAllocator(
-                links,
-                optimizer_cls=NedOptimizer,
-                normalizer=FNormalizer(allow_scale_up=False),
+            if mode is None:
+                mode = getattr(self.config, "scheduler_mode", "flowtune")
+            scheduler_kwargs = {}
+            if mode != "ecmp":
+                scheduler_kwargs = dict(
+                    optimizer_cls=NedOptimizer,
+                    normalizer=FNormalizer(allow_scale_up=False),
+                    gamma=self.config.allocator_gamma)
+            allocator = make_scheduler(
+                links, mode=mode,
                 update_threshold=self.config.update_threshold,
-                gamma=self.config.allocator_gamma)
+                **scheduler_kwargs)
+        elif mode is not None:
+            raise ValueError("pass either a constructed allocator or "
+                             "mode=, not both")
         self.allocator = allocator
         self.topology = topology
         network.attach_allocator(self)

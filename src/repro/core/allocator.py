@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import inspect
 import threading
-import warnings
 from collections.abc import Hashable, Iterable
 from typing import Any, NamedTuple
 
@@ -28,7 +27,8 @@ from .normalization import FNormalizer, Normalizer
 from .utility import Utility
 
 __all__ = ["RateUpdate", "AllocationResult", "FlowtuneAllocator",
-           "ChurnQueue"]
+           "ChurnQueue", "threshold_update_indices",
+           "threshold_update_mask"]
 
 
 class RateUpdate(NamedTuple):
@@ -39,6 +39,47 @@ class RateUpdate(NamedTuple):
 
 
 _NO_UPDATES = np.zeros(0, dtype=np.intp)
+
+
+def threshold_update_mask(rate_vec: npt.NDArray[np.float64],
+                          last: npt.NDArray[np.float64],
+                          pending: npt.NDArray[np.bool_],
+                          threshold: float) -> npt.NDArray[np.bool_]:
+    """The §6.4 notification filter as one vectorized mask.
+
+    A flow is selected when it is new (``last`` is NaN or ``pending``),
+    when a zero rate turns positive, or when its rate leaves
+    ``[(1-t)*last, (1+t)*last]``.  The selected rows of ``last`` and
+    ``pending`` are updated *in place* (they are live flow-table
+    columns), so every scheduler that shares this helper applies
+    bitwise-identical update semantics.
+
+    Returns the boolean ``changed`` mask rather than indices: when
+    nearly everything changed (the ECMP fair-share model under churn
+    renotifies most mice each refresh), masked stores beat building a
+    90 k-entry index array the caller may never read.  Use
+    :func:`threshold_update_indices` when positions are needed
+    eagerly.
+    """
+    # NaN (never notified) compares False everywhere, so it only
+    # contributes through the is_new term.
+    is_new = np.isnan(last) | pending
+    went_positive = (last <= 0.0) & (rate_vec > 0.0)
+    moved = np.abs(rate_vec - last) > threshold * last
+    changed = is_new | went_positive | ((last > 0.0) & moved)
+    if changed.any():
+        np.copyto(last, rate_vec, where=changed)
+        pending[changed] = False
+    return changed
+
+
+def threshold_update_indices(rate_vec: npt.NDArray[np.float64],
+                             last: npt.NDArray[np.float64],
+                             pending: npt.NDArray[np.bool_],
+                             threshold: float) -> npt.NDArray[np.intp]:
+    """:func:`threshold_update_mask` rendered as update positions."""
+    return np.flatnonzero(
+        threshold_update_mask(rate_vec, last, pending, threshold))
 
 
 class AllocationResult:
@@ -149,29 +190,27 @@ class FlowtuneAllocator:
             kwargs.setdefault("gamma", gamma)
         self.optimizer = optimizer_cls(self.table, utility=utility, **kwargs)
         self.normalizer = normalizer if normalizer is not None else FNormalizer()
-        # Thread the optimizer's per-link load into the normalizer
+        # The normalizer must accept the optimizer's per-link load
         # (saves F-NORM's re-scatter of the very rates the price
-        # update just scattered) — but only when the normalizer's
-        # signature accepts it, so legacy two-argument callables work.
+        # update just scattered).  The two-argument compatibility
+        # fallback is gone; fail at construction, not mid-iterate.
         try:
             # signature() on the callable itself follows __call__ for
             # instances and reports real parameters for plain
             # functions (inspecting .__call__ directly would see the
             # generic (*args, **kwargs) method-wrapper for those).
             params = inspect.signature(self.normalizer).parameters.values()
-            self._normalizer_takes_load = any(
-                p.name == "link_load" or p.kind == p.VAR_KEYWORD
-                for p in params)
+            takes_load = any(p.name == "link_load" or p.kind == p.VAR_KEYWORD
+                             for p in params)
         except (TypeError, ValueError):  # builtins, odd callables
-            self._normalizer_takes_load = False
-        if not self._normalizer_takes_load:
-            warnings.warn(
-                "normalizers that do not accept link_load= are "
-                "deprecated: add a link_load=None keyword to "
+            takes_load = False
+        if not takes_load:
+            raise TypeError(
+                "normalizer must accept a link_load= keyword: add "
+                "link_load=None to "
                 f"{type(self.normalizer).__name__}.__call__ (see "
-                "repro.core.normalization.Normalizer); the two-argument "
-                "fallback will be removed in a future release",
-                DeprecationWarning, stacklevel=2)
+                "repro.core.normalization.Normalizer); the legacy "
+                "two-argument form is no longer called")
         # Positionally-aligned per-flow state, maintained by the flow
         # table under swap-remove churn: the rate each endpoint was
         # last notified of (NaN = never notified) and whether the flow
@@ -210,8 +249,38 @@ class FlowtuneAllocator:
     def n_flows(self) -> int:
         return self.table.n_flows
 
-    def __contains__(self, flow_id):
+    def __contains__(self, flow_id: Hashable) -> bool:
         return flow_id in self.table
+
+    # ------------------------------------------------------------------
+    # RateScheduler protocol surface (repro.sampling.scheduler)
+    # ------------------------------------------------------------------
+    #: Whether drivers should feed per-flow byte counts through
+    #: :meth:`report_usage`.  The full allocator prices every flow and
+    #: needs no usage stream; the sampled scheduler flips this on.
+    wants_usage: bool = False
+
+    @property
+    def links(self) -> LinkSet:
+        """Effective (headroom-adjusted) link set the allocator prices."""
+        return self.table.links
+
+    @property
+    def max_route_len(self) -> int:
+        return self.table.max_route_len
+
+    def link_load(self, rates: npt.ArrayLike) -> npt.NDArray[np.float64]:
+        """Per-link load of a rate vector aligned with the last result."""
+        return self.table.link_totals(rates)
+
+    def report_usage(self, flow_id: Hashable, nbytes: float) -> None:
+        """Cumulative byte-count report for a flow (§6.2 usage stream).
+
+        The full allocator prices every flow already, so the stream
+        carries no scheduling signal here — it exists so drivers can
+        program against :class:`~repro.sampling.RateScheduler` without
+        caring which scheme is behind it.
+        """
 
     # ------------------------------------------------------------------
     # allocation
@@ -225,13 +294,10 @@ class FlowtuneAllocator:
         when its rate leaves ``[(1-t)*last, (1+t)*last]``.
         """
         raw = self.optimizer.iterate(n)
-        if self._normalizer_takes_load:
-            loader = getattr(self.optimizer, "link_load_for", None)
-            normalized = self.normalizer(
-                self.table, raw,
-                link_load=loader(raw) if loader is not None else None)
-        else:
-            normalized = self.normalizer(self.table, raw)
+        loader = getattr(self.optimizer, "link_load_for", None)
+        normalized = self.normalizer(
+            self.table, raw,
+            link_load=loader(raw) if loader is not None else None)
         # O(1) view of the table's positionally-aligned id column —
         # the per-iterate list rebuild this replaces used to cost a
         # full O(n_flows) copy whether or not anyone read the ids.
@@ -239,19 +305,9 @@ class FlowtuneAllocator:
         update_idx = _NO_UPDATES
         if len(flow_ids):
             rate_vec = np.asarray(normalized, dtype=np.float64)
-            last = self._last_sent.data
-            pending = self._pending_new.data
-            # NaN (never notified) compares False everywhere, so it
-            # only contributes through the is_new term.
-            is_new = np.isnan(last) | pending
-            went_positive = (last <= 0.0) & (rate_vec > 0.0)
-            moved = (np.abs(rate_vec - last)
-                     > self.update_threshold * last)
-            changed = is_new | went_positive | ((last > 0.0) & moved)
-            update_idx = np.nonzero(changed)[0]
-            if len(update_idx):
-                last[update_idx] = rate_vec[update_idx]
-                pending[update_idx] = False
+            update_idx = threshold_update_indices(
+                rate_vec, self._last_sent.data, self._pending_new.data,
+                self.update_threshold)
         return AllocationResult(flow_ids=flow_ids, rate_vector=normalized,
                                 update_indices=update_idx)
 

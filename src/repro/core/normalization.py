@@ -88,10 +88,10 @@ class Normalizer:
     ``link_load`` is an optional precomputed ``table.link_totals(rates)``
     (the allocator passes the price update's own scatter); subclasses
     that don't consume it must still accept it.  The ``link_load=``
-    form is the only supported signature: two-argument legacy
-    normalizers still run for one more release (the allocator inspects
-    the signature and falls back), but constructing an allocator with
-    one now emits :class:`DeprecationWarning`.
+    form is the only supported signature: constructing an allocator
+    with a two-argument legacy normalizer raises :class:`TypeError`
+    with a migration hint — the signature-sniffing fallback that used
+    to run such callables has been removed.
     """
 
     name = "none"

@@ -21,8 +21,8 @@ import numpy as np
 from ..control.messages import (FLOWLET_END_BYTES, FLOWLET_START_BYTES,
                                 RATE_UPDATE_BYTES, batched_wire_bytes,
                                 wire_bytes)
-from ..core.allocator import FlowtuneAllocator
 from ..core.optimizer import solve_to_optimal
+from ..sampling.scheduler import RateScheduler
 
 __all__ = ["FluidFlowRecord", "FluidMetrics", "FluidSimulator"]
 
@@ -108,14 +108,18 @@ class FluidMetrics:
 
 
 class FluidSimulator:
-    """Drive a :class:`FlowtuneAllocator` with Poisson flowlet churn.
+    """Drive a :class:`~repro.sampling.RateScheduler` with Poisson churn.
 
     Parameters
     ----------
     topology:
         Provides routes and the capacity denominator.
     allocator:
-        The allocator under test (any optimizer/normalizer combo).
+        The scheduler under test — full Flowtune, sampled Flowtune or
+        pure ECMP (see :func:`repro.make_scheduler`).  When the
+        scheduler consumes the §6.2 usage stream (``wants_usage``),
+        the transmit phase reports each flow's cumulative sent bytes
+        every tick, which is what feeds elephant detection.
     generator:
         A :class:`~repro.workloads.PoissonFlowletGenerator`.
     tick:
@@ -123,16 +127,24 @@ class FluidSimulator:
     optimal_every:
         If > 0, every that many ticks solve the NUM problem to
         convergence on a cloned flow table and record achieved vs
-        optimal throughput (fig. 13's methodology).  Expensive.
+        optimal throughput (fig. 13's methodology).  Expensive, and
+        only meaningful for schedulers that *have* a NUM problem (a
+        full priced flow table) — pure ECMP or sampled schedulers are
+        rejected.
     """
 
-    def __init__(self, topology, allocator: FlowtuneAllocator, generator,
+    def __init__(self, topology, allocator: RateScheduler, generator,
                  tick: float = 10e-6, optimal_every: int = 0):
         self.topology = topology
         self.allocator = allocator
         self.generator = generator
         self.tick = float(tick)
         self.optimal_every = int(optimal_every)
+        if self.optimal_every and not hasattr(allocator, "optimizer"):
+            raise ValueError(
+                "optimal_every needs a scheduler with a NUM optimizer "
+                f"over all flows; {type(allocator).__name__} has none")
+        self._wants_usage = bool(getattr(allocator, "wants_usage", False))
         self._active: dict[int, FluidFlowRecord] = {}
         self._notified_rates: dict[int, float] = {}
         self._now = 0.0
@@ -207,9 +219,14 @@ class FluidSimulator:
     def _transmit(self, metrics, measuring):
         finished = []
         tick = self.tick
+        report = (self.allocator.report_usage if self._wants_usage
+                  else None)
         for flow_id, record in self._active.items():
             rate_gbps = self._notified_rates.get(flow_id, 0.0)
             record.remaining_bytes -= rate_gbps * 1e9 * tick / 8.0
+            if report is not None:
+                report(flow_id, record.size_bytes
+                       - max(record.remaining_bytes, 0.0))
             if record.remaining_bytes <= 1e-9:
                 finished.append(flow_id)
         for flow_id in finished:
@@ -225,17 +242,18 @@ class FluidSimulator:
 
     def _sample(self, result, metrics, tick_index):
         rates = np.asarray(result.rate_vector)
-        table = self.allocator.table
-        load = table.link_totals(rates)
-        # Over-allocation is measured against the allocator's effective
-        # (headroom-adjusted) capacities — what it believes it may use.
-        excess = np.maximum(load - table.links.capacity, 0.0)
+        load = self.allocator.link_load(rates)
+        # Over-allocation is measured against the scheduler's effective
+        # capacities — what it believes it may use (the full allocator
+        # reports its headroom-adjusted links, ECMP the physical ones).
+        excess = np.maximum(load - self.allocator.links.capacity, 0.0)
         metrics.times.append(self._now)
         metrics.n_active.append(len(self._active))
         metrics.over_allocation.append(float(excess.sum()))
         metrics.total_rate.append(float(rates.sum()))
         if self.optimal_every and tick_index % self.optimal_every == 0 \
-                and table.n_flows > 0:
+                and self.allocator.n_flows > 0:
+            table = self.allocator.table
             optimal_rates, _ = solve_to_optimal(table.clone(),
                                                 self.allocator.optimizer.utility,
                                                 tol=1e-6,

@@ -37,6 +37,18 @@ def main(argv=None):
     parser.add_argument("--spines", type=int, default=2)
     parser.add_argument("--mode", choices=("auto", "manual"),
                         default="auto")
+    parser.add_argument("--scheduler-mode",
+                        choices=("flowtune", "sampled", "ecmp"),
+                        default="flowtune",
+                        help="rate-assignment scheme: full Flowtune, "
+                             "sieve-sampled Flowtune (elephants priced, "
+                             "mice on ECMP) or pure ECMP fair share")
+    parser.add_argument("--promote-bytes", type=float, default=float(1 << 20),
+                        help="sampled mode: new-byte accumulation at "
+                             "which a flow is promoted to elephant")
+    parser.add_argument("--idle-epochs", type=int, default=100,
+                        help="sampled mode: allocation epochs without "
+                             "byte growth before an elephant is demoted")
     parser.add_argument("--gamma", type=float, default=1.0)
     parser.add_argument("--threshold", type=float, default=0.01)
     parser.add_argument("--iters-per-cycle", type=int, default=1)
@@ -66,6 +78,8 @@ def main(argv=None):
     service = FlowtuneService(
         topology, host=args.host, port=args.port, token=token,
         mode=args.mode, gamma=args.gamma,
+        scheduler_mode=args.scheduler_mode,
+        promote_bytes=args.promote_bytes, idle_epochs=args.idle_epochs,
         update_threshold=args.threshold,
         iters_per_cycle=args.iters_per_cycle, min_cycle=args.min_cycle,
         resume_grace=args.resume_grace, churn_rate=args.churn_rate,

@@ -1,7 +1,8 @@
 """The always-on allocator service.
 
 A single-threaded ``selectors`` loop (the socket fabric's idiom) owns
-a :class:`~repro.core.FlowtuneAllocator` and serves many clients over
+a rate scheduler (any :func:`repro.make_scheduler` mode — full
+Flowtune by default) and serves many clients over
 TCP: clients authenticate with a raw 16-byte token (checked before any
 frame is parsed, exactly like the fabric's worker handshake), then
 exchange :mod:`repro.service.wire` frames over the fabric's
@@ -60,8 +61,8 @@ from collections import deque
 from collections.abc import Sequence
 from typing import Any
 
-from ..core import FlowtuneAllocator
 from ..core.allocator import ChurnQueue
+from ..sampling import make_scheduler
 from ..parallel.fabric import _TOKEN_LEN
 from . import wire
 from .wire import TAG_SERVICE, FrameBuffer, WireError
@@ -189,7 +190,10 @@ class FlowtuneService:
 
     Allocator knobs (``utility``, ``update_threshold``, ``gamma``,
     ``max_route_len``) are passed through to
-    :class:`~repro.core.FlowtuneAllocator`.
+    :func:`repro.make_scheduler`; ``scheduler_mode`` selects the
+    scheme (``"flowtune"``, ``"sampled"`` or ``"ecmp"``), and
+    ``promote_bytes``/``idle_epochs`` tune the sampled mode's elephant
+    detector, which consumes the clients' USAGE reports.
     """
 
     def __init__(self, network: Any, *, utility: Any = None,
@@ -197,6 +201,9 @@ class FlowtuneService:
                  token: bytes | str | None = None,
                  update_threshold: float = 0.01, gamma: float = 1.0,
                  max_route_len: int = 8, mode: str = "auto",
+                 scheduler_mode: str = "flowtune",
+                 promote_bytes: float = float(1 << 20),
+                 idle_epochs: int = 100,
                  iters_per_cycle: int = 1, min_cycle: float = 0.0005,
                  idle_timeout: float = 0.05, quiet_after: int = 3,
                  send_timeout: float = 10.0, resume_grace: float = 2.0,
@@ -211,9 +218,17 @@ class FlowtuneService:
                              "manual mode drains only on STEP — the pause "
                              "would deadlock; use auto mode")
         links = network.link_set() if hasattr(network, "link_set") else network
-        self.allocator = FlowtuneAllocator(
-            links, utility=utility, update_threshold=update_threshold,
-            gamma=gamma, max_route_len=max_route_len)
+        scheduler_kwargs: dict[str, Any] = {}
+        if scheduler_mode != "ecmp":
+            scheduler_kwargs["utility"] = utility
+            scheduler_kwargs["gamma"] = gamma
+        if scheduler_mode == "sampled":
+            scheduler_kwargs["promote_bytes"] = promote_bytes
+            scheduler_kwargs["idle_epochs"] = idle_epochs
+        self.allocator = make_scheduler(
+            links, mode=scheduler_mode,
+            update_threshold=update_threshold,
+            max_route_len=max_route_len, **scheduler_kwargs)
         self.queue = ChurnQueue()
         self.mode = mode
         self.iters_per_cycle = int(iters_per_cycle)
@@ -729,7 +744,7 @@ class FlowtuneService:
         # RESUME, duplicates are reconciled (skipped): the journal may
         # replay starts the server already applied.
         session = client.session
-        max_hops = self.allocator.table.max_route_len
+        max_hops = self.allocator.max_route_len
         n_links = self.allocator.full_links.n_links
         seen = set()
         fresh = []
@@ -793,9 +808,18 @@ class FlowtuneService:
 
     def _on_usage(self, client, reports):
         session = client.session
+        feed = self.allocator.wants_usage
         for fid, nbytes in reports:
             if fid in session.flows:
                 self._usage[(session.client_id, fid)] = nbytes
+                if feed:
+                    # The §6.2 usage stream drives elephant detection
+                    # in sampled mode.  Reports for flows whose start
+                    # is still queued (or already ended) are dropped
+                    # by the detector; the counts are cumulative, so
+                    # the next report carries the full total anyway.
+                    self.allocator.report_usage(
+                        (session.client_id, fid), nbytes)
         self._debit(client, len(reports))
         self.stats["paper_bytes_in"] += wire.paper_wire_bytes(
             wire.USAGE, len(reports))
@@ -1008,6 +1032,9 @@ def spawn_service(*, racks: int = 3, hosts_per_rack: int = 8,
                   spines: int = 2, mode: str = "auto", gamma: float = 1.0,
                   update_threshold: float = 0.01, iters_per_cycle: int = 1,
                   min_cycle: float = 0.0005, host: str = "127.0.0.1",
+                  scheduler_mode: str | None = None,
+                  promote_bytes: float | None = None,
+                  idle_epochs: int | None = None,
                   resume_grace: float | None = None,
                   churn_rate: float | None = None,
                   churn_burst: float | None = None,
@@ -1025,7 +1052,9 @@ def spawn_service(*, racks: int = 3, hosts_per_rack: int = 8,
 
     ``resume_grace``, ``churn_rate``, ``churn_burst`` and
     ``max_pending`` forward the PR 7 hardening knobs when given
-    (``None`` keeps the CLI defaults).
+    (``None`` keeps the CLI defaults); ``scheduler_mode``,
+    ``promote_bytes`` and ``idle_epochs`` likewise forward the
+    sampling front-end knobs.
     """
     token_hex = secrets.token_bytes(_TOKEN_LEN).hex()
     src_root = os.path.dirname(os.path.dirname(os.path.dirname(
@@ -1040,7 +1069,10 @@ def spawn_service(*, racks: int = 3, hosts_per_rack: int = 8,
            "--gamma", str(gamma), "--threshold", str(update_threshold),
            "--iters-per-cycle", str(iters_per_cycle),
            "--min-cycle", str(min_cycle)]
-    for flag, value in (("--resume-grace", resume_grace),
+    for flag, value in (("--scheduler-mode", scheduler_mode),
+                        ("--promote-bytes", promote_bytes),
+                        ("--idle-epochs", idle_epochs),
+                        ("--resume-grace", resume_grace),
                         ("--churn-rate", churn_rate),
                         ("--churn-burst", churn_burst),
                         ("--max-pending", max_pending)):

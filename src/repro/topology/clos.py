@@ -155,6 +155,30 @@ class TwoTierClos(Topology):
             self.host_down_link(dst_host),
         ], dtype=np.int64)
 
+    def candidate_routes(self, src_host: int, dst_host: int,
+                         ) -> list[npt.NDArray[np.int64]]:
+        """All equal-cost paths ECMP may hash a flow onto.
+
+        Intra-rack pairs have exactly one path; cross-rack pairs one
+        per spine.  :meth:`route` always returns an element of this
+        list (the one :meth:`spine_for` picks for the flow id), which
+        is what lets an unpriced mouse keep its hash-assigned path
+        when the sampling front-end later promotes it.
+        """
+        if src_host == dst_host:
+            raise ValueError("source and destination host must differ")
+        src_rack = self.rack_of(src_host)
+        dst_rack = self.rack_of(dst_host)
+        if src_rack == dst_rack:
+            return [np.array([self.host_up_link(src_host),
+                              self.host_down_link(dst_host)],
+                             dtype=np.int64)]
+        return [np.array([self.host_up_link(src_host),
+                          self.fabric_up_link(src_rack, spine),
+                          self.fabric_down_link(dst_rack, spine),
+                          self.host_down_link(dst_host)], dtype=np.int64)
+                for spine in range(self.n_spines)]
+
     # ------------------------------------------------------------------
     # block partitioning hooks (§5)
     # ------------------------------------------------------------------

@@ -190,6 +190,39 @@ class ThreeTierClos(Topology):
             self.host_down_link(dst_host),
         ], dtype=np.int64)
 
+    def candidate_routes(self, src_host: int, dst_host: int,
+                         ) -> list[npt.NDArray[np.int64]]:
+        """All equal-cost paths ECMP may hash a flow onto.
+
+        One path intra-rack, one per pod spine intra-pod, and one per
+        (spine, core-uplink) pair cross-pod.  :meth:`route` always
+        returns an element of this list.
+        """
+        if src_host == dst_host:
+            raise ValueError("source and destination host must differ")
+        src_rack, dst_rack = self.rack_of(src_host), self.rack_of(dst_host)
+        if src_rack == dst_rack:
+            return [np.array([self.host_up_link(src_host),
+                              self.host_down_link(dst_host)],
+                             dtype=np.int64)]
+        src_pod, dst_pod = self.pod_of(src_host), self.pod_of(dst_host)
+        if src_pod == dst_pod:
+            return [np.array([self.host_up_link(src_host),
+                              self.tor_spine_link(src_rack, spine),
+                              self.spine_tor_link(dst_rack, spine),
+                              self.host_down_link(dst_host)],
+                             dtype=np.int64)
+                    for spine in range(self.n_spines)]
+        per_spine = self.n_core // self.n_spines
+        return [np.array([self.host_up_link(src_host),
+                          self.tor_spine_link(src_rack, spine),
+                          self.spine_core_link(src_pod, spine, k),
+                          self.core_spine_link(dst_pod, spine, k),
+                          self.spine_tor_link(dst_rack, spine),
+                          self.host_down_link(dst_host)], dtype=np.int64)
+                for spine in range(self.n_spines)
+                for k in range(per_spine)]
+
     # ------------------------------------------------------------------
     # the §7 open question, quantified
     # ------------------------------------------------------------------

@@ -346,10 +346,9 @@ class TestLinkLoadThreading:
         np.testing.assert_array_equal(
             np.asarray(res.rate_vector, dtype=np.float64), expected)
 
-    def test_legacy_two_argument_normalizer_deprecated_but_works(self):
-        """The 2-arg signature still runs for one release, but
-        constructing an allocator with one warns: ``link_load=`` is
-        the only supported form now."""
+    def test_legacy_two_argument_normalizer_raises_type_error(self):
+        """The 2-arg signature is gone: construction fails fast with a
+        migration hint, for classes and plain functions alike."""
         class Legacy:
             name = "legacy"
 
@@ -361,20 +360,17 @@ class TestLinkLoadThreading:
 
         topology = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
         for normalizer in (Legacy(), legacy_fn):
-            with pytest.warns(DeprecationWarning, match="link_load"):
-                allocator = FlowtuneAllocator(topology.link_set(),
-                                              normalizer=normalizer)
-            assert not allocator._normalizer_takes_load
-            allocator.flowlet_start(0, topology.route(0, 5, 0))
-            result = allocator.iterate(1)
-            assert len(result.rates) == 1
+            with pytest.raises(TypeError, match="link_load"):
+                FlowtuneAllocator(topology.link_set(),
+                                  normalizer=normalizer)
 
-    def test_link_load_normalizer_does_not_warn(self):
+    def test_link_load_normalizer_constructs_cleanly(self):
         topology = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             allocator = FlowtuneAllocator(topology.link_set())
-        assert allocator._normalizer_takes_load
+        allocator.flowlet_start(0, topology.route(0, 5, 0))
+        assert len(allocator.iterate(1).rates) == 1
 
     def test_kwargs_normalizer_receives_the_load(self):
         received = {}
@@ -387,7 +383,6 @@ class TestLinkLoadThreading:
         topology = TwoTierClos(n_racks=2, hosts_per_rack=4, n_spines=2)
         allocator = FlowtuneAllocator(topology.link_set(),
                                       normalizer=Spy())
-        assert allocator._normalizer_takes_load
         allocator.flowlet_start(0, topology.route(0, 5, 0))
         allocator.iterate(1)
         assert received.get("link_load") is not None

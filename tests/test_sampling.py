@@ -1,0 +1,276 @@
+"""Sampling-mode invariants: detector, ECMP store, sampled wrapper.
+
+The load-bearing property is the bitwise priced-subset identity: the
+sampled wrapper's priced half, journaled and replayed into a fresh
+:class:`FlowtuneAllocator`, must reproduce the priced rates bit for
+bit over arbitrary interleavings of churn, usage reports, promotions,
+demotions and capacity refreshes.  Around it sit the promotion edge
+cases, detector boundedness, the scheduler-protocol conformance of
+all three modes and the batched-ends atomicity of the ECMP store.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FlowtuneAllocator, LinkSet
+from repro.sampling import (SCHEDULER_MODES, EcmpAssigner, EcmpScheduler,
+                            ElephantDetector, SampledAllocator,
+                            make_scheduler, replay_priced_journal)
+from repro.topology import ThreeTierClos, TwoTierClos
+
+N_LINKS = 6
+
+
+def make_links():
+    return LinkSet(np.full(N_LINKS, 10.0))
+
+
+def run_churn_program(alloc, seed, steps, promote_bytes):
+    """Drive ``alloc`` through a randomized churn/usage/iterate mix.
+
+    Returns the merged result of a final iterate (so every program
+    ends with fresh rates on both halves).
+    """
+    rng = np.random.default_rng(seed)
+    active = []
+    ended = []
+    next_id = 0
+    for _ in range(steps):
+        op = rng.integers(4)
+        if op == 0 or not active:  # start a batch of flows
+            starts = []
+            for _ in range(int(rng.integers(1, 4))):
+                route = rng.choice(N_LINKS, size=int(rng.integers(1, 4)),
+                                   replace=False)
+                starts.append((next_id, route))
+                active.append(next_id)
+                next_id += 1
+            alloc.apply_churn(starts=starts)
+        elif op == 1:  # end some flows
+            k = int(rng.integers(1, min(3, len(active)) + 1))
+            idx = rng.choice(len(active), size=k, replace=False)
+            ends = [active[i] for i in idx]
+            for flow_id in ends:
+                active.remove(flow_id)
+            ended.extend(ends)
+            alloc.apply_churn(ends=ends)
+        elif op == 2:  # usage reports, sometimes enough to promote
+            flow_id = active[int(rng.integers(len(active)))]
+            nbytes = float(rng.uniform(0, 3 * promote_bytes))
+            alloc.report_usage(flow_id, nbytes)
+            if ended and rng.integers(2):  # late report for a dead flow
+                alloc.report_usage(ended[-1], nbytes)
+        else:
+            alloc.iterate(1)
+    return alloc.iterate(1)
+
+
+class TestPricedSubsetIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), steps=st.integers(5, 40))
+    def test_journal_replay_is_bitwise(self, seed, steps):
+        """Replaying the priced journal into a fresh FlowtuneAllocator
+        reproduces the sampled wrapper's priced rates bit for bit."""
+        promote = 1000.0
+        alloc = SampledAllocator(
+            make_links(), promote_bytes=promote, idle_epochs=3,
+            detector=ElephantDetector(promote_bytes=promote,
+                                      idle_epochs=3, check_every=1),
+            mice_refresh=2, record_priced=True)
+        merged = run_churn_program(alloc, seed, steps, promote)
+        replayed = replay_priced_journal(
+            alloc.priced_journal,
+            FlowtuneAllocator(make_links()))
+        priced = merged._priced
+        assert replayed is not None
+        assert np.array_equal(replayed._ids, priced._ids)
+        assert np.array_equal(np.asarray(replayed.rate_vector),
+                              np.asarray(priced.rate_vector))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), steps=st.integers(5, 30))
+    def test_membership_partition(self, seed, steps):
+        """A live flow sits in exactly one store; detector state never
+        outlives the live population."""
+        promote = 1000.0
+        alloc = SampledAllocator(make_links(), promote_bytes=promote,
+                                 idle_epochs=3, mice_refresh=2)
+        run_churn_program(alloc, seed, steps, promote)
+        mice = set(alloc.mice.flow_index)
+        priced = {fid for fid in alloc.priced.table._index_of
+                  if fid not in alloc._pending_set}
+        assert not mice & priced
+        assert alloc.n_flows == len(mice) + len(priced)
+        assert len(alloc.detector) <= alloc.n_flows
+
+
+class TestPromotionEdges:
+    def _one_flow(self, **kwargs):
+        alloc = SampledAllocator(make_links(), mice_refresh=1, **kwargs)
+        alloc.apply_churn(starts=[("f", np.array([0, 1]))])
+        return alloc
+
+    def test_exact_threshold_promotes(self):
+        alloc = self._one_flow(promote_bytes=1000.0)
+        alloc.report_usage("f", 999.0)
+        alloc.iterate(1)
+        assert alloc.n_priced == 0
+        alloc.report_usage("f", 1000.0)  # accumulator hits exactly 1000
+        alloc.iterate(1)
+        assert alloc.n_priced == 1
+
+    def test_demote_then_repromote_needs_fresh_bytes(self):
+        alloc = self._one_flow(
+            detector=ElephantDetector(promote_bytes=1000.0, idle_epochs=2,
+                                      check_every=1))
+        alloc.report_usage("f", 1500.0)
+        alloc.iterate(1)
+        assert alloc.n_priced == 1
+        for _ in range(4):  # idle long enough for the scan to demote
+            alloc.iterate(1)
+        assert alloc.n_priced == 0 and alloc.n_flows == 1
+        # Pre-demotion bytes are spent: 999 new bytes do not re-promote.
+        alloc.report_usage("f", 2499.0)
+        alloc.iterate(1)
+        assert alloc.n_priced == 0
+        alloc.report_usage("f", 2500.0)  # fresh accumulation reaches 1000
+        alloc.iterate(1)
+        assert alloc.n_priced == 1
+
+    def test_usage_for_ended_flow_creates_no_state(self):
+        alloc = self._one_flow(promote_bytes=1000.0)
+        alloc.apply_churn(ends=["f"])
+        alloc.report_usage("f", 5000.0)
+        alloc.report_usage("ghost", 5000.0)
+        assert len(alloc.detector) == 0
+        alloc.iterate(1)
+        assert alloc.n_priced == 0 and alloc.n_flows == 0
+
+    def test_ended_elephant_restarts_as_mouse(self):
+        alloc = self._one_flow(promote_bytes=1000.0)
+        alloc.report_usage("f", 2000.0)
+        alloc.iterate(1)
+        assert alloc.n_priced == 1
+        # End the elephant (deferred), restart the id in the same tick.
+        alloc.apply_churn(ends=["f"], starts=[("f", np.array([2]))])
+        assert "f" in alloc and alloc.n_priced == 0
+        alloc.iterate(1)
+        assert alloc.n_priced == 0 and alloc.mice.n_flows == 1
+        # link_load flushes the deferred end before measuring.
+        alloc.apply_churn(starts=[("g", np.array([3]))])
+        result = alloc.iterate(1)
+        load = alloc.link_load(result.rate_vector)
+        assert load.shape == (N_LINKS,)
+
+
+class TestSchedulerProtocol:
+    @pytest.mark.parametrize("mode", SCHEDULER_MODES)
+    def test_conformance(self, mode):
+        alloc = make_scheduler(make_links(), mode=mode)
+        alloc.apply_churn(starts=[(0, np.array([0, 1])),
+                                  (1, np.array([1, 2]))])
+        result = alloc.iterate(1)
+        rates = np.asarray(result.rate_vector)
+        assert len(rates) == alloc.n_flows == 2
+        assert np.all(rates >= 0)
+        load = alloc.link_load(rates)
+        assert load.shape == (N_LINKS,)
+        assert 0 in alloc and 2 not in alloc
+        assert set(alloc.current_rates()) <= {0, 1}
+        alloc.report_usage(0, 123.0)  # protocol no-op outside sampled
+        alloc.apply_churn(ends=[0, 1])
+        assert alloc.n_flows == 0
+        assert alloc.wants_usage == (mode == "sampled")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler mode"):
+            make_scheduler(make_links(), mode="pfabric")
+
+    def test_ecmp_rejects_num_knobs(self):
+        from repro.core import NedOptimizer
+        with pytest.raises(ValueError, match="does not apply"):
+            make_scheduler(make_links(), mode="ecmp",
+                           optimizer_cls=NedOptimizer)
+
+
+class TestEcmpAssigner:
+    @pytest.mark.parametrize("topology", [
+        TwoTierClos(n_racks=3, hosts_per_rack=4, n_spines=2),
+        ThreeTierClos(n_pods=2, racks_per_pod=2, hosts_per_rack=2,
+                      n_spines=2),
+    ])
+    def test_assignment_is_a_candidate_and_deterministic(self, topology):
+        assigner = EcmpAssigner(topology)
+        twin = EcmpAssigner(topology)
+        for flow_id in (0, 7, "client-3:42", (1, 2)):
+            route = assigner.assign(0, topology.n_hosts - 1, flow_id)
+            candidates = assigner.candidates(0, topology.n_hosts - 1)
+            assert any(np.array_equal(route, c) for c in candidates)
+            assert np.array_equal(
+                route, twin.assign(0, topology.n_hosts - 1, flow_id))
+
+    def test_requires_candidate_enumeration(self):
+        with pytest.raises(TypeError, match="candidate_routes"):
+            EcmpAssigner(object())
+
+
+class TestEcmpEndsAtomicity:
+    def _store(self):
+        store = EcmpScheduler(make_links())
+        store.apply_churn(starts=[(i, np.array([i % N_LINKS]))
+                                  for i in range(4)])
+        return store
+
+    def test_unknown_id_applies_nothing(self):
+        store = self._store()
+        with pytest.raises(KeyError, match="not active"):
+            store.apply_churn(ends=[0, 1, 99])
+        assert store.n_flows == 4
+        assert all(i in store for i in range(4))
+
+    def test_duplicate_id_applies_nothing(self):
+        store = self._store()
+        with pytest.raises(KeyError):
+            store.apply_churn(ends=[0, 1, 0])
+        assert store.n_flows == 4
+        assert all(i in store for i in range(4))
+
+    def test_notified_link_load_matches_active_scatter(self):
+        store = self._store()
+        result = store.iterate(1)
+        expected = store.link_load(np.asarray(result.rate_vector))
+        assert np.allclose(store.notified_link_load(), expected)
+        store.apply_churn(ends=[1, 2])
+        # Freed rows contribute nothing after their flows end.
+        survivors = store.notified_link_load()
+        assert survivors.sum() < expected.sum()
+
+
+class TestCapacityCoupling:
+    def test_elephants_yield_to_mice(self):
+        """Promoted elephants must not keep the full link capacity once
+        mice share their links."""
+        alloc = SampledAllocator(make_links(), promote_bytes=100.0,
+                                 mice_refresh=1)
+        alloc.apply_churn(starts=[("e", np.array([0, 1]))])
+        alloc.report_usage("e", 1e6)
+        alloc.iterate(1)
+        assert alloc.n_priced == 1
+        # 30 mice pile onto link 0; within a few refreshes the priced
+        # capacity shrinks below the physical one.
+        alloc.apply_churn(starts=[(i, np.array([0])) for i in range(30)])
+        for _ in range(10):
+            alloc.iterate(1)
+        assert alloc.priced.links.capacity[0] < alloc._priced_base[0]
+        # The floor holds: elephants are squeezed, never zeroed.
+        assert np.all(alloc.priced.links.capacity
+                      >= 0.01 * alloc._priced_base - 1e-12)
+
+    def test_legacy_two_arg_normalizer_rejected_at_construction(self):
+        def legacy_norm(rates, table):  # pragma: no cover - never called
+            return rates
+
+        with pytest.raises(TypeError, match="link_load"):
+            make_scheduler(make_links(), mode="sampled",
+                           normalizer=legacy_norm)
